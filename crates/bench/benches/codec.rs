@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the wire codecs (GTP, Q.931, ISUP, RTP).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vgprs_wire::{
+    CallId, Cause, Cic, Crv, GtpHeader, GtpMsgType, Ipv4Addr, IsupKind, IsupMessage, Msisdn,
+    Q931Kind, Q931Message, RtpPacket, TransportAddr,
+};
+
+fn gtp_header(c: &mut Criterion) {
+    let h = GtpHeader {
+        msg_type: GtpMsgType::TPdu,
+        length: 128,
+        seq: 777,
+        flow: 3,
+        tid: 0x1122_3344_5566_7788,
+    };
+    let bytes = h.encode();
+    c.bench_function("gtp_header_encode", |b| b.iter(|| black_box(h).encode()));
+    c.bench_function("gtp_header_decode", |b| {
+        b.iter(|| GtpHeader::decode(black_box(&bytes)).expect("valid"))
+    });
+}
+
+fn q931(c: &mut Criterion) {
+    let m = Q931Message {
+        crv: Crv(42),
+        call: CallId(777),
+        kind: Q931Kind::Setup {
+            calling: Some(Msisdn::parse("886912000001").expect("valid")),
+            called: Msisdn::parse("886220001111").expect("valid"),
+            signal_addr: TransportAddr::new(Ipv4Addr::from_octets(10, 0, 0, 5), 1720),
+            media_addr: TransportAddr::new(Ipv4Addr::from_octets(10, 0, 0, 5), 30_000),
+        },
+    };
+    let bytes = m.encode();
+    c.bench_function("q931_setup_encode", |b| b.iter(|| black_box(&m).encode()));
+    c.bench_function("q931_setup_decode", |b| {
+        b.iter(|| Q931Message::decode(black_box(&bytes)).expect("valid"))
+    });
+}
+
+fn isup(c: &mut Criterion) {
+    let m = IsupMessage {
+        cic: Cic(31),
+        call: CallId(1234),
+        kind: IsupKind::Iam {
+            called: Msisdn::parse("85291234567").expect("valid"),
+            calling: Some(Msisdn::parse("447700900123").expect("valid")),
+        },
+    };
+    let bytes = m.encode();
+    c.bench_function("isup_iam_encode", |b| b.iter(|| black_box(&m).encode()));
+    c.bench_function("isup_iam_decode", |b| {
+        b.iter(|| IsupMessage::decode(black_box(&bytes)).expect("valid"))
+    });
+    let rel = IsupMessage {
+        cic: Cic(31),
+        call: CallId(1234),
+        kind: IsupKind::Rel {
+            cause: Cause::NormalClearing,
+        },
+    };
+    c.bench_function("isup_rel_roundtrip", |b| {
+        b.iter(|| IsupMessage::decode(&black_box(&rel).encode()).expect("valid"))
+    });
+}
+
+fn rtp(c: &mut Criterion) {
+    let p = RtpPacket {
+        ssrc: 0xCAFEBABE,
+        seq: 4321,
+        timestamp: 160_000,
+        payload_type: 3,
+        marker: false,
+        payload_len: 33,
+        call: CallId(1),
+        origin_us: 0,
+    };
+    let bytes = p.encode_header();
+    c.bench_function("rtp_header_encode", |b| {
+        b.iter(|| black_box(&p).encode_header())
+    });
+    c.bench_function("rtp_header_decode", |b| {
+        b.iter(|| RtpPacket::decode_header(black_box(&bytes)).expect("valid"))
+    });
+}
+
+criterion_group!(benches, gtp_header, q931, isup, rtp);
+criterion_main!(benches);

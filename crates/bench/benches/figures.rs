@@ -1,0 +1,94 @@
+//! One benchmark per paper figure: each regenerates the figure's
+//! scenario end-to-end, so `cargo bench` re-validates every reproduction
+//! while measuring its simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgprs_bench::scenarios::{
+    intersystem_handoff, tromboning_classic, tromboning_vgprs, SingleZone,
+};
+use vgprs_sim::SimDuration;
+use vgprs_wire::{CallId, Command, Message};
+
+fn figures_1_to_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(15);
+    // Figures 1–4 are all exercised by the registration scenario.
+    g.bench_function("fig1_to_fig4_registration", |b| {
+        b.iter(|| {
+            let s = SingleZone::build(42);
+            assert!(s
+                .net
+                .trace()
+                .contains_subsequence(&["Um_Location_Update_Request", "RAS_RCF"]));
+            s
+        })
+    });
+    g.finish();
+}
+
+fn figure_5_and_6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(15);
+    g.bench_function("fig5_origination_release", |b| {
+        b.iter_batched(
+            || SingleZone::build(42),
+            |mut s| {
+                s.call_from_ms(CallId(1), SimDuration::from_secs(1));
+                s.hangup_from_ms();
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("fig6_termination", |b| {
+        b.iter_batched(
+            || SingleZone::build(42),
+            |mut s| {
+                let called = s.ms_msisdn;
+                s.net.inject(
+                    SimDuration::ZERO,
+                    s.term,
+                    Message::Cmd(Command::Dial {
+                        call: CallId(2),
+                        called,
+                    }),
+                );
+                let deadline = s.net.now() + SimDuration::from_secs(8);
+                s.net.run_until(deadline);
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn figures_7_to_9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_tromboning_classic", |b| {
+        b.iter(|| {
+            let r = tromboning_classic(42);
+            assert_eq!(r.international_trunks, 2);
+            r
+        })
+    });
+    g.bench_function("fig8_tromboning_vgprs", |b| {
+        b.iter(|| {
+            let r = tromboning_vgprs(42, true);
+            assert_eq!(r.international_trunks, 0);
+            r
+        })
+    });
+    g.bench_function("fig9_intersystem_handoff", |b| {
+        b.iter(|| {
+            let r = intersystem_handoff(42);
+            assert_eq!(r.handoffs_completed, 1);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figures_1_to_4, figure_5_and_6, figures_7_to_9);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Simulation-kernel throughput: how many events per second the
+//! discrete-event core sustains.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vgprs_sim::{Context, Interface, Network, Node, NodeId, Payload, SimDuration};
+
+#[derive(Clone, Debug)]
+struct Ball(u32);
+impl Payload for Ball {
+    fn label(&self) -> String {
+        "Ball".into()
+    }
+    fn traceable(&self) -> bool {
+        false // measure the kernel, not trace recording
+    }
+}
+
+struct Player {
+    peer: Option<NodeId>,
+    remaining: u32,
+}
+impl Node<Ball> for Player {
+    fn on_start(&mut self, ctx: &mut Context<'_, Ball>) {
+        if let Some(p) = self.peer {
+            ctx.send(p, Ball(self.remaining));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Ball>, from: NodeId, _i: Interface, b: Ball) {
+        if b.0 > 0 {
+            ctx.send(from, Ball(b.0 - 1));
+        }
+    }
+}
+
+fn ping_pong(c: &mut Criterion) {
+    let events: u32 = 100_000;
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(u64::from(events)));
+    g.bench_function("ping_pong_100k_events", |b| {
+        b.iter(|| {
+            let mut net = Network::new(1);
+            let a = net.add_node("a", Player { peer: None, remaining: 0 });
+            let bn = net.add_node(
+                "b",
+                Player {
+                    peer: Some(a),
+                    remaining: events,
+                },
+            );
+            net.connect(a, bn, Interface::Lan, SimDuration::from_micros(10));
+            net.run_until_quiescent()
+        })
+    });
+    g.finish();
+}
+
+fn timer_churn(c: &mut Criterion) {
+    struct Ticker {
+        remaining: u32,
+    }
+    impl Node<Ball> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ball>) {
+            ctx.set_timer(SimDuration::from_micros(10), 0);
+        }
+        fn on_message(&mut self, _c: &mut Context<'_, Ball>, _f: NodeId, _i: Interface, _m: Ball) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Ball>, _t: vgprs_sim::TimerToken, _tag: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(SimDuration::from_micros(10), 0);
+            }
+        }
+    }
+    let events: u32 = 100_000;
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(u64::from(events)));
+    g.bench_function("timer_churn_100k", |b| {
+        b.iter(|| {
+            let mut net = Network::new(1);
+            net.add_node(
+                "ticker",
+                Ticker {
+                    remaining: events,
+                },
+            );
+            net.run_until_quiescent()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ping_pong, timer_churn);
+criterion_main!(benches);

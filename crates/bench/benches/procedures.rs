@@ -1,0 +1,40 @@
+//! End-to-end procedure benchmarks: how fast the simulator executes the
+//! paper's full signaling procedures (registrations and calls per second
+//! of wall-clock time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgprs_bench::scenarios::{SingleZone, TrSingleZone};
+use vgprs_sim::SimDuration;
+use vgprs_wire::CallId;
+
+fn registration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("procedures");
+    g.sample_size(20);
+    g.bench_function("vgprs_full_registration", |b| {
+        b.iter(|| SingleZone::build(42))
+    });
+    g.bench_function("tr_full_registration", |b| {
+        b.iter(|| TrSingleZone::build(42))
+    });
+    g.finish();
+}
+
+fn call_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("procedures");
+    g.sample_size(20);
+    g.bench_function("vgprs_call_and_release", |b| {
+        b.iter_batched(
+            || SingleZone::build(42),
+            |mut s| {
+                s.call_from_ms(CallId(1), SimDuration::from_secs(1));
+                s.hangup_from_ms();
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, registration, call_cycle);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # vgprs-bench — experiment scenarios and harness
+//!
+//! The library half of the benchmark crate: every figure/claim of the
+//! paper is reproduced by a function in [`scenarios`] or [`experiments`],
+//! shared by the `harness` binary, the workspace integration tests and
+//! the Criterion benches so that all three observe identical systems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scenarios;

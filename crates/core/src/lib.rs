@@ -1,0 +1,24 @@
+//! # vgprs-core — the paper's contribution
+//!
+//! The [`Vmsc`] (VoIP Mobile Switching Center) and the [`testbed`]
+//! builders that assemble complete networks around it:
+//!
+//! * [`VgprsZone`] — one vGPRS serving network (Figure 2(b)): BTS, BSC,
+//!   VMSC, VLR, HLR, SGSN, GGSN, PSDN router, gatekeeper, plus helpers to
+//!   add subscribers, H.323 terminals and a PSTN gateway.
+//! * [`GsmZone`] — the classic circuit-switched baseline network
+//!   (Figure 7) around a [`vgprs_gsm::GsmMsc`].
+//!
+//! See the crate's integration tests (workspace `tests/`) for the
+//! reproduced message flows of Figures 4–6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod testbed;
+mod vmsc;
+
+pub use testbed::{
+    GsmZone, GsmZoneConfig, LatencyProfile, VgprsZone, VgprsZoneConfig,
+};
+pub use vmsc::{MsEntry, RegPhase, Vmsc, VmscConfig};

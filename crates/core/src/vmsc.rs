@@ -1,0 +1,1515 @@
+//! The VoIP Mobile Switching Center — the paper's contribution.
+//!
+//! The VMSC replaces a classic GSM MSC (Figure 2(a)): toward the radio
+//! network and the location registers it is indistinguishable from an MSC
+//! (A/B/C/E interfaces); toward the transport it is radically different —
+//! it holds a Gb interface into the GPRS core and behaves like a GPRS MS
+//! *on behalf of every registered handset*, and it speaks H.323 like a
+//! terminal, registering each handset's MSISDN with the gatekeeper.
+//!
+//! Per registered MS the VMSC:
+//!
+//! 1. runs the standard GSM location update with the VLR/HLR (steps
+//!    1.1–1.2),
+//! 2. performs GPRS attach and activates a low-priority *signaling* PDP
+//!    context, obtaining an IP address for the MS (step 1.3),
+//! 3. registers (IP address, MSISDN) with the gatekeeper via RAS (steps
+//!    1.4–1.5), and only then
+//! 4. confirms the location update to the MS (step 1.6).
+//!
+//! Calls keep the circuit-switched GSM air interface (the real-time
+//! guarantee of Section 6) and are transcoded at the VMSC between TCH
+//! voice frames and RTP carried through the pre-activated PDP contexts.
+
+use std::collections::HashMap;
+
+use vgprs_sim::{Context, Interface, Node, NodeId, SimTime};
+use vgprs_wire::{
+    CallId, Cause, CellId, Cic, ConnRef, Crv, Dtap, GmmMessage, Imsi, IpPacket, IpPayload,
+    Ipv4Addr, MapMessage, Message, MsIdentity, Msisdn, Nsapi, Q931Kind, Q931Message, QosProfile,
+    RasMessage, RtpPacket, Tmsi, TransportAddr, PAYLOAD_TYPE_GSM,
+};
+
+/// Well-known port for H.225 call signaling.
+const H225_PORT: u16 = 1720;
+/// How long to wait for a paging response before clearing the call.
+const PAGING_TIMEOUT: vgprs_sim::SimDuration = vgprs_sim::SimDuration::from_secs(10);
+/// Timer-tag namespace bit for paging supervision (the low bits carry
+/// the call id; future timer kinds must use their own namespace bit).
+const TAG_PAGING: u64 = 1 << 62;
+/// Port the VMSC terminates RTP on, per MS.
+const MEDIA_PORT: u16 = 30_000;
+
+/// Signaling PDP context NSAPI (paper step 1.3).
+fn sig_nsapi() -> Nsapi {
+    Nsapi::new(5).expect("5 is a valid NSAPI")
+}
+
+/// Voice PDP context NSAPI (paper steps 2.9 / 4.8).
+fn voice_nsapi() -> Nsapi {
+    Nsapi::new(6).expect("6 is a valid NSAPI")
+}
+
+/// Configuration for a [`Vmsc`].
+#[derive(Clone, Debug)]
+pub struct VmscConfig {
+    /// Country code of the serving network.
+    pub country_code: String,
+    /// The gatekeeper's RAS transport address.
+    pub gk: TransportAddr,
+    /// The ablation the paper names but rejects (Section 6): tear the
+    /// signaling PDP context down while the MS is idle and re-activate
+    /// it per call. Mobile-originated calls then pay an extra activation
+    /// round trip; mobile-terminated delivery is not supported in this
+    /// mode (it would need the TR's static addresses). Default `false`.
+    pub deactivate_idle_contexts: bool,
+}
+
+/// Registration progress of one MS (paper Section 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegPhase {
+    /// GSM location update running with the VLR (steps 1.1–1.2).
+    GsmUpdating,
+    /// GPRS attach in progress (step 1.3).
+    Attaching,
+    /// Signaling PDP context activating (step 1.3).
+    ActivatingSignalingContext,
+    /// RAS registration outstanding (steps 1.4–1.5).
+    RasRegistering,
+    /// Fully registered; LU accept sent (step 1.6).
+    Registered,
+}
+
+/// Call progress of one MS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CallPhase {
+    /// MO: waiting for the VLR's outgoing-call authorization (step 2.2).
+    MoAuthorizing,
+    /// MO: waiting for the traffic channel (step 2.1 box).
+    MoAssigning,
+    /// MO: ARQ sent (step 2.3).
+    MoAdmission,
+    /// MO: Setup sent, waiting for progress (step 2.4+).
+    MoProgress,
+    /// MT: ARQ (answering) sent (step 4.3).
+    MtAdmission,
+    /// MT: paging the MS (step 4.4).
+    MtPaging,
+    /// MT: access + channel assignment running (step 4.5).
+    MtAccess,
+    /// MT: MS is ringing (step 4.6).
+    MtRinging,
+    /// Connected; voice context activating or active (steps 2.9 / 4.8).
+    Active,
+}
+
+/// Everything the VMSC holds per call.
+#[derive(Debug)]
+struct VmscCall {
+    imsi: Imsi,
+    phase: CallPhase,
+    crv: Crv,
+    remote_signal: Option<TransportAddr>,
+    remote_media: Option<TransportAddr>,
+    /// Pending dialed number (MO, before Setup goes out).
+    called: Option<Msisdn>,
+    /// Calling party (MT).
+    calling: Option<Msisdn>,
+    started_at: SimTime,
+    connected_at: Option<SimTime>,
+    rtp_seq: u16,
+    /// Inter-MSC leg after handoff (anchor side), or toward the anchor
+    /// (target side).
+    e_leg: Option<(NodeId, Cic)>,
+    /// True if this VMSC is the handoff *target* for the call.
+    target_role: bool,
+}
+
+/// The per-MS entry of the paper's "MS table" (Section 2): MM context +
+/// PDP contexts + H.323 state.
+#[derive(Debug)]
+pub struct MsEntry {
+    /// Subscriber identity.
+    pub imsi: Imsi,
+    /// Dialable number; the H.323 alias (known after the VLR answers).
+    pub msisdn: Option<Msisdn>,
+    /// TMSI allocated by the VLR.
+    pub tmsi: Option<Tmsi>,
+    /// Registration progress.
+    pub phase: RegPhase,
+    /// PDP address of the signaling context (step 1.3).
+    pub signaling_addr: Option<Ipv4Addr>,
+    /// PDP address of the per-call voice context (steps 2.9/4.8).
+    pub voice_addr: Option<Ipv4Addr>,
+    /// Current radio connection.
+    conn: Option<ConnRef>,
+    /// Current call.
+    call: Option<CallId>,
+    /// When registration started (for the latency histograms).
+    reg_started: SimTime,
+}
+
+/// A handoff prepared with this VMSC as target.
+#[derive(Debug)]
+struct PendingTargetHandoff {
+    call: CallId,
+    anchor: NodeId,
+    cic: Cic,
+}
+
+/// The VMSC node.
+#[derive(Debug)]
+pub struct Vmsc {
+    config: VmscConfig,
+    vlr: NodeId,
+    sgsn: NodeId,
+    bscs: Vec<NodeId>,
+    /// Neighbor MSCs (classic or VMSC) by the cells they serve.
+    neighbor_cells: HashMap<CellId, NodeId>,
+    /// The MS table (paper Section 2).
+    ms_table: HashMap<Imsi, MsEntry>,
+    by_conn: HashMap<ConnRef, Imsi>,
+    by_addr: HashMap<Ipv4Addr, Imsi>,
+    by_alias: HashMap<Msisdn, Imsi>,
+    by_tmsi: HashMap<Tmsi, Imsi>,
+    conn_of_bsc: HashMap<ConnRef, NodeId>,
+    calls: HashMap<CallId, VmscCall>,
+    /// Radio connections serving target-role handoff calls.
+    by_conn_call: HashMap<ConnRef, CallId>,
+    /// Handoffs prepared as target, by handover reference.
+    target_handoffs: HashMap<u32, PendingTargetHandoff>,
+    /// MO calls waiting for the signaling context to come back up
+    /// (idle-deactivation ablation only).
+    awaiting_context: Vec<(Imsi, CallId)>,
+    next_crv: u16,
+    next_ho_ref: u32,
+    next_cic: u16,
+}
+
+impl Vmsc {
+    /// Creates a VMSC wired to its VLR and SGSN.
+    pub fn new(config: VmscConfig, vlr: NodeId, sgsn: NodeId) -> Self {
+        Vmsc {
+            config,
+            vlr,
+            sgsn,
+            bscs: Vec::new(),
+            neighbor_cells: HashMap::new(),
+            ms_table: HashMap::new(),
+            by_conn: HashMap::new(),
+            by_addr: HashMap::new(),
+            by_alias: HashMap::new(),
+            by_tmsi: HashMap::new(),
+            conn_of_bsc: HashMap::new(),
+            calls: HashMap::new(),
+            by_conn_call: HashMap::new(),
+            target_handoffs: HashMap::new(),
+            awaiting_context: Vec::new(),
+            next_crv: 0,
+            next_ho_ref: 0,
+            next_cic: 0,
+        }
+    }
+
+    /// Registers a subordinate BSC.
+    pub fn register_bsc(&mut self, bsc: NodeId) {
+        if !self.bscs.contains(&bsc) {
+            self.bscs.push(bsc);
+        }
+    }
+
+    /// Declares that `cell` belongs to the neighboring MSC `msc` (E
+    /// interface required).
+    pub fn add_neighbor_cell(&mut self, cell: CellId, msc: NodeId) {
+        self.neighbor_cells.insert(cell, msc);
+    }
+
+    /// The MS table entry for a subscriber.
+    pub fn ms_entry(&self, imsi: &Imsi) -> Option<&MsEntry> {
+        self.ms_table.get(imsi)
+    }
+
+    /// Number of fully registered MSs.
+    pub fn registered_count(&self) -> usize {
+        self.ms_table
+            .values()
+            .filter(|e| e.phase == RegPhase::Registered)
+            .count()
+    }
+
+    /// Number of calls currently tracked.
+    pub fn active_calls(&self) -> usize {
+        self.calls.len()
+    }
+
+    // ----------------------------------------------------------------
+    // helpers
+    // ----------------------------------------------------------------
+
+    fn send_a(&self, ctx: &mut Context<'_, Message>, conn: ConnRef, dtap: Dtap) {
+        if let Some(&bsc) = self.conn_of_bsc.get(&conn) {
+            ctx.send(bsc, Message::a(conn, dtap));
+        }
+    }
+
+    fn send_a_to_ms(&self, ctx: &mut Context<'_, Message>, imsi: &Imsi, dtap: Dtap) {
+        if let Some(conn) = self.ms_table.get(imsi).and_then(|e| e.conn) {
+            self.send_a(ctx, conn, dtap);
+        }
+    }
+
+    /// Sends an IP packet on the MS's signaling PDP context (the path the
+    /// paper's Figure 3 shows as links (4)(3)(2)).
+    fn send_ip_for(
+        &self,
+        ctx: &mut Context<'_, Message>,
+        imsi: Imsi,
+        src_port: u16,
+        dst: TransportAddr,
+        payload: IpPayload,
+    ) {
+        let Some(addr) = self.ms_table.get(&imsi).and_then(|e| e.signaling_addr) else {
+            ctx.count("vmsc.send_without_context");
+            return;
+        };
+        let src = TransportAddr::new(addr, src_port);
+        ctx.send(
+            self.sgsn,
+            Message::Llc {
+                imsi,
+                nsapi: sig_nsapi(),
+                inner: Box::new(IpPacket::new(src, dst, payload)),
+            },
+        );
+    }
+
+    fn send_ras(&self, ctx: &mut Context<'_, Message>, imsi: Imsi, ras: RasMessage) {
+        let gk = self.config.gk;
+        self.send_ip_for(ctx, imsi, 1719, gk, IpPayload::Ras(ras));
+    }
+
+    fn send_q931(&self, ctx: &mut Context<'_, Message>, call: CallId, kind: Q931Kind) {
+        let Some(call_state) = self.calls.get(&call) else {
+            return;
+        };
+        let Some(dst) = call_state.remote_signal else {
+            return;
+        };
+        let q = Q931Message {
+            crv: call_state.crv,
+            call,
+            kind,
+        };
+        self.send_ip_for(ctx, call_state.imsi, H225_PORT, dst, IpPayload::Q931(q));
+    }
+
+    fn media_addr_for(&self, imsi: &Imsi) -> Option<TransportAddr> {
+        self.ms_table
+            .get(imsi)
+            .and_then(|e| e.signaling_addr)
+            .map(|a| TransportAddr::new(a, MEDIA_PORT))
+    }
+
+    fn signal_addr_for(&self, imsi: &Imsi) -> Option<TransportAddr> {
+        self.ms_table
+            .get(imsi)
+            .and_then(|e| e.signaling_addr)
+            .map(|a| TransportAddr::new(a, H225_PORT))
+    }
+
+    fn is_international(&self, called: &Msisdn) -> bool {
+        !called.has_country_code(&self.config.country_code)
+    }
+
+    /// Clears all state of a call and deactivates its voice context
+    /// (paper step 3.4).
+    fn finish_call(&mut self, ctx: &mut Context<'_, Message>, call: CallId) {
+        let Some(state) = self.calls.remove(&call) else {
+            return;
+        };
+        let imsi = state.imsi;
+        if let Some(entry) = self.ms_table.get_mut(&imsi) {
+            entry.call = None;
+            if entry.voice_addr.take().is_some() {
+                ctx.note("Step 3.4: deactivate voice PDP context");
+                ctx.count("vmsc.voice_context_deactivated");
+                ctx.send(
+                    self.sgsn,
+                    Message::Gmm(GmmMessage::DeactivatePdpContextRequest {
+                        imsi,
+                        nsapi: voice_nsapi(),
+                    }),
+                );
+            }
+        }
+        // Disengage from the gatekeeper (step 3.3).
+        let duration_ms = state
+            .connected_at
+            .map(|at| ctx.now().duration_since(at).as_millis())
+            .unwrap_or(0);
+        self.send_ras(ctx, imsi, RasMessage::Drq { call, duration_ms });
+        self.maybe_deactivate_signaling(ctx, imsi);
+    }
+
+    /// The subscriber registered elsewhere (MAP_Cancel_Location reached
+    /// our VLR): release every resource held on its behalf — any call,
+    /// the gatekeeper alias (URQ), the PDP contexts, and the MS table
+    /// entry. Without this, relocations would leak contexts at the old
+    /// SGSN and leave a stale alias that misroutes incoming calls.
+    fn purge_ms(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi) {
+        if let Some(call) = self.ms_table.get(&imsi).and_then(|e| e.call) {
+            self.send_q931(
+                ctx,
+                call,
+                Q931Kind::ReleaseComplete {
+                    cause: Cause::SubscriberAbsent,
+                },
+            );
+            self.finish_call(ctx, call);
+        }
+        if !self.ms_table.contains_key(&imsi) {
+            return;
+        }
+        ctx.count("vmsc.purged");
+        // Unregister the stale alias while the signaling context still
+        // exists to carry the URQ.
+        let (alias, has_sig) = {
+            let e = &self.ms_table[&imsi];
+            (e.msisdn, e.signaling_addr.is_some())
+        };
+        if let (Some(alias), true) = (alias, has_sig) {
+            self.send_ras(ctx, imsi, RasMessage::Urq { alias });
+        }
+        let Some(entry) = self.ms_table.remove(&imsi) else {
+            return;
+        };
+        if let Some(alias) = entry.msisdn {
+            self.by_alias.remove(&alias);
+        }
+        if let Some(t) = entry.tmsi {
+            self.by_tmsi.remove(&t);
+        }
+        if let Some(conn) = entry.conn {
+            self.by_conn.remove(&conn);
+        }
+        for addr in [entry.signaling_addr, entry.voice_addr]
+            .into_iter()
+            .flatten()
+        {
+            self.by_addr.remove(&addr);
+        }
+        if entry.voice_addr.is_some() {
+            ctx.send(
+                self.sgsn,
+                Message::Gmm(GmmMessage::DeactivatePdpContextRequest {
+                    imsi,
+                    nsapi: voice_nsapi(),
+                }),
+            );
+        }
+        if entry.signaling_addr.is_some() {
+            ctx.count("vmsc.signaling_context_deactivated");
+            ctx.send(
+                self.sgsn,
+                Message::Gmm(GmmMessage::DeactivatePdpContextRequest {
+                    imsi,
+                    nsapi: sig_nsapi(),
+                }),
+            );
+        }
+    }
+
+    /// Idle-deactivation ablation: drop the signaling context once the
+    /// MS has no call (or right after registration).
+    fn maybe_deactivate_signaling(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi) {
+        if !self.config.deactivate_idle_contexts {
+            return;
+        }
+        let Some(entry) = self.ms_table.get_mut(&imsi) else {
+            return;
+        };
+        if entry.call.is_some() {
+            return;
+        }
+        if let Some(addr) = entry.signaling_addr.take() {
+            self.by_addr.remove(&addr);
+            ctx.count("vmsc.signaling_context_deactivated");
+            ctx.send(
+                self.sgsn,
+                Message::Gmm(GmmMessage::DeactivatePdpContextRequest {
+                    imsi,
+                    nsapi: sig_nsapi(),
+                }),
+            );
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // A interface
+    // ----------------------------------------------------------------
+
+    fn handle_a(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        conn: ConnRef,
+        dtap: Dtap,
+    ) {
+        self.conn_of_bsc.insert(conn, from);
+        match dtap {
+            Dtap::LocationUpdateRequest { identity, lai } => {
+                // Step 1.1: relay into the VLR.
+                if let MsIdentity::Imsi(imsi) = identity {
+                    let entry = self.ms_table.entry(imsi).or_insert_with(|| MsEntry {
+                        imsi,
+                        msisdn: None,
+                        tmsi: None,
+                        phase: RegPhase::GsmUpdating,
+                        signaling_addr: None,
+                        voice_addr: None,
+                        conn: None,
+                        call: None,
+                        reg_started: ctx.now(),
+                    });
+                    entry.conn = Some(conn);
+                    entry.reg_started = ctx.now();
+                    entry.phase = RegPhase::GsmUpdating;
+                    self.by_conn.insert(conn, imsi);
+                }
+                ctx.count("vmsc.registrations_started");
+                ctx.note("Step 1.1: location update -> VLR");
+                ctx.send(
+                    self.vlr,
+                    Message::Map(MapMessage::UpdateLocationArea {
+                        conn,
+                        identity,
+                        lai,
+                    }),
+                );
+            }
+            Dtap::CmServiceRequest { identity } => {
+                ctx.send(
+                    self.vlr,
+                    Message::Map(MapMessage::ProcessAccessRequest { conn, identity }),
+                );
+            }
+            Dtap::PagingResponse { identity } => {
+                let imsi = match identity {
+                    MsIdentity::Imsi(i) => i,
+                    MsIdentity::Tmsi(t) => match self.by_tmsi.get(&t) {
+                        Some(&i) => i,
+                        None => {
+                            ctx.count("vmsc.page_response_unknown_tmsi");
+                            return;
+                        }
+                    },
+                };
+                let Some(entry) = self.ms_table.get_mut(&imsi) else {
+                    return;
+                };
+                entry.conn = Some(conn);
+                self.by_conn.insert(conn, imsi);
+                // Step 4.5: auth + ciphering via the VLR.
+                ctx.send(
+                    self.vlr,
+                    Message::Map(MapMessage::ProcessAccessRequest { conn, identity }),
+                );
+            }
+            Dtap::AuthenticationResponse { sres } => {
+                if let Some(&imsi) = self.by_conn.get(&conn) {
+                    ctx.send(
+                        self.vlr,
+                        Message::Map(MapMessage::AuthenticateAck { conn, imsi, sres }),
+                    );
+                }
+            }
+            Dtap::CipherModeComplete => {
+                if let Some(&imsi) = self.by_conn.get(&conn) {
+                    ctx.send(
+                        self.vlr,
+                        Message::Map(MapMessage::StartCipheringAck { conn, imsi }),
+                    );
+                }
+            }
+            Dtap::Setup { call, called } => {
+                // Step 2.1 end: the dialed digits arrived.
+                let Some(&imsi) = self.by_conn.get(&conn) else {
+                    ctx.count("vmsc.setup_without_access");
+                    return;
+                };
+                self.next_crv += 1;
+                self.calls.insert(
+                    call,
+                    VmscCall {
+                        imsi,
+                        phase: CallPhase::MoAuthorizing,
+                        crv: Crv(self.next_crv),
+                        remote_signal: None,
+                        remote_media: None,
+                        called: Some(called),
+                        calling: None,
+                        started_at: ctx.now(),
+                        connected_at: None,
+                        rtp_seq: 0,
+                        e_leg: None,
+                        target_role: false,
+                    },
+                );
+                if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                    entry.call = Some(call);
+                }
+                ctx.count("vmsc.mo_calls");
+                ctx.note("Step 2.2: authorize outgoing call with VLR");
+                // Step 2.2: VLR authorization.
+                let international = self.is_international(&called);
+                ctx.send(
+                    self.vlr,
+                    Message::Map(MapMessage::SendInfoForOutgoingCall {
+                        conn,
+                        imsi,
+                        called,
+                        international,
+                    }),
+                );
+            }
+            Dtap::ChannelAssignmentComplete => {
+                let Some(&imsi) = self.by_conn.get(&conn) else {
+                    return;
+                };
+                let Some(call) = self.ms_table.get(&imsi).and_then(|e| e.call) else {
+                    return;
+                };
+                let (phase, called, calling) = {
+                    let Some(state) = self.calls.get(&call) else {
+                        return;
+                    };
+                    (state.phase, state.called, state.calling)
+                };
+                match phase {
+                    CallPhase::MoAssigning => {
+                        // Step 2.3: admission request toward the GK.
+                        if let Some(state) = self.calls.get_mut(&call) {
+                            state.phase = CallPhase::MoAdmission;
+                        }
+                        ctx.note("Step 2.3: admission request (ARQ) -> GK");
+                        let called = called.expect("MO call has digits");
+                        self.send_a(ctx, conn, Dtap::CallProceeding { call });
+                        let has_context = self
+                            .ms_table
+                            .get(&imsi)
+                            .map(|e| e.signaling_addr.is_some())
+                            .unwrap_or(false);
+                        if !has_context {
+                            // Idle-deactivation ablation: the context must
+                            // come back up before the GK can be reached —
+                            // the extra latency the paper predicts.
+                            ctx.count("vmsc.context_reactivations");
+                            self.awaiting_context.push((imsi, call));
+                            ctx.send(
+                                self.sgsn,
+                                Message::Gmm(GmmMessage::ActivatePdpContextRequest {
+                                    imsi,
+                                    nsapi: sig_nsapi(),
+                                    qos: QosProfile::signaling(),
+                                    static_addr: None,
+                                }),
+                            );
+                            return;
+                        }
+                        self.send_ras(
+                            ctx,
+                            imsi,
+                            RasMessage::Arq {
+                                call,
+                                called,
+                                answering: false,
+                                bandwidth: 160,
+                            },
+                        );
+                    }
+                    CallPhase::MtAccess => {
+                        // Step 4.5 end: deliver the setup.
+                        if let Some(state) = self.calls.get_mut(&call) {
+                            state.phase = CallPhase::MtRinging;
+                        }
+                        self.send_a(ctx, conn, Dtap::MtSetup { call, calling });
+                    }
+                    _ => {}
+                }
+            }
+            Dtap::ChannelAssignmentFailure { cause } => {
+                let Some(&imsi) = self.by_conn.get(&conn) else {
+                    return;
+                };
+                if let Some(call) = self.ms_table.get(&imsi).and_then(|e| e.call) {
+                    ctx.count("vmsc.assignment_blocked");
+                    self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
+                    self.finish_call(ctx, call);
+                    self.send_a(ctx, conn, Dtap::Disconnect { call, cause });
+                }
+            }
+            Dtap::Alerting { call } => {
+                // Step 4.6: MS rings; relay to the caller.
+                self.send_q931(ctx, call, Q931Kind::Alerting);
+            }
+            Dtap::Connect { call } => {
+                // Step 4.7: answered; relay and acknowledge.
+                let media = self
+                    .calls
+                    .get(&call)
+                    .map(|c| c.imsi)
+                    .and_then(|imsi| self.media_addr_for(&imsi));
+                if let Some(media_addr) = media {
+                    self.send_q931(ctx, call, Q931Kind::Connect { media_addr });
+                }
+                self.send_a(ctx, conn, Dtap::ConnectAck { call });
+                self.activate_voice_context(ctx, call);
+                ctx.count("vmsc.mt_calls_answered");
+            }
+            Dtap::ConnectAck { call } => {
+                // Step 2.9 (MO side): conversation begins.
+                self.activate_voice_context(ctx, call);
+                ctx.count("vmsc.mo_calls_connected");
+            }
+            Dtap::Disconnect { call, cause } => {
+                // Step 3.1: the MS hangs up.
+                ctx.count("vmsc.ms_initiated_release");
+                ctx.note("Step 3.2: release H.323 leg (Q.931 Release Complete)");
+                // Step 3.2: release the H.323 leg.
+                self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
+                self.send_a(ctx, conn, Dtap::Release { call });
+                // Steps 3.3–3.4 happen in finish_call.
+                self.finish_call(ctx, call);
+            }
+            Dtap::Release { call } => {
+                self.send_a(ctx, conn, Dtap::ReleaseComplete { call });
+                self.send_a(ctx, conn, Dtap::ChannelRelease);
+                self.finish_call(ctx, call);
+            }
+            Dtap::ReleaseComplete { .. } => {
+                self.send_a(ctx, conn, Dtap::ChannelRelease);
+            }
+            Dtap::MeasurementReport { cell } | Dtap::HandoverRequired { cell } => {
+                self.start_handover(ctx, conn, cell);
+            }
+            Dtap::HandoverComplete { ho_ref } => {
+                // Target role: the MS arrived on our cell.
+                let Some(pending) = self.target_handoffs.remove(&ho_ref) else {
+                    ctx.count("vmsc.handover_complete_unknown_ref");
+                    return;
+                };
+                let call = pending.call;
+                self.next_crv += 1;
+                self.calls.insert(
+                    call,
+                    VmscCall {
+                        imsi: Imsi::parse("00000000000000").expect("placeholder IMSI is well-formed"),
+                        phase: CallPhase::Active,
+                        crv: Crv(self.next_crv),
+                        remote_signal: None,
+                        remote_media: None,
+                        called: None,
+                        calling: None,
+                        started_at: ctx.now(),
+                        connected_at: Some(ctx.now()),
+                        rtp_seq: 0,
+                        e_leg: Some((pending.anchor, pending.cic)),
+                        target_role: true,
+                    },
+                );
+                self.by_conn_call.insert(conn, call);
+                self.conn_of_bsc.insert(conn, from);
+                ctx.count("vmsc.handover_target_completed");
+                ctx.send(
+                    pending.anchor,
+                    Message::Map(MapMessage::SendEndSignal { call }),
+                );
+            }
+            Dtap::VoiceFrame {
+                call,
+                seq,
+                origin_us,
+            } => self.uplink_voice(ctx, call, seq, origin_us),
+            _ => ctx.count("vmsc.unhandled_dtap"),
+        }
+    }
+
+    fn start_handover(&mut self, ctx: &mut Context<'_, Message>, conn: ConnRef, cell: CellId) {
+        let Some(&imsi) = self.by_conn.get(&conn) else {
+            ctx.count("vmsc.handover_without_imsi");
+            return;
+        };
+        let Some(call) = self.ms_table.get(&imsi).and_then(|e| e.call) else {
+            ctx.count("vmsc.handover_without_call");
+            return;
+        };
+        let Some(&target) = self.neighbor_cells.get(&cell) else {
+            ctx.count("vmsc.handover_unknown_cell");
+            return;
+        };
+        ctx.count("vmsc.handovers_started");
+        ctx.send(
+            target,
+            Message::Map(MapMessage::PrepareHandover { call, imsi, cell }),
+        );
+    }
+
+    /// Step 2.9 / 4.8: a second, high-priority PDP context for the voice
+    /// packets.
+    fn activate_voice_context(&mut self, ctx: &mut Context<'_, Message>, call: CallId) {
+        let Some(state) = self.calls.get_mut(&call) else {
+            return;
+        };
+        state.phase = CallPhase::Active;
+        state.connected_at = Some(ctx.now());
+        let (imsi, started_at) = (state.imsi, state.started_at);
+        ctx.observe_duration("vmsc.call_setup_ms", ctx.now().duration_since(started_at));
+        ctx.note("Step 2.9/4.8: activate voice PDP context; conversation begins");
+        ctx.count("vmsc.voice_context_requested");
+        ctx.send(
+            self.sgsn,
+            Message::Gmm(GmmMessage::ActivatePdpContextRequest {
+                imsi,
+                nsapi: voice_nsapi(),
+                qos: QosProfile::realtime_voice(),
+                static_addr: None,
+            }),
+        );
+    }
+
+    // ----------------------------------------------------------------
+    // MAP (VLR, peer MSCs)
+    // ----------------------------------------------------------------
+
+    fn handle_map(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, msg: MapMessage) {
+        match msg {
+            MapMessage::Authenticate { conn, imsi, rand } => {
+                self.by_conn.insert(conn, imsi);
+                self.send_a(ctx, conn, Dtap::AuthenticationRequest { rand });
+            }
+            MapMessage::StartCiphering { conn, imsi } => {
+                self.by_conn.insert(conn, imsi);
+                self.send_a(ctx, conn, Dtap::CipherModeCommand);
+            }
+            MapMessage::UpdateLocationAreaAck {
+                conn,
+                imsi,
+                tmsi,
+                msisdn,
+            } => {
+                // Step 1.2 complete. Do NOT accept toward the MS yet: the
+                // paper continues with GPRS attach + PDP + RAS first.
+                let has_context = {
+                    let Some(entry) = self.ms_table.get_mut(&imsi) else {
+                        return;
+                    };
+                    entry.tmsi = tmsi;
+                    entry.msisdn = msisdn;
+                    entry.signaling_addr.is_some()
+                };
+                if let Some(t) = tmsi {
+                    self.by_tmsi.insert(t, imsi);
+                }
+                if let Some(alias) = msisdn {
+                    self.by_alias.insert(alias, imsi);
+                }
+                let _ = conn;
+                if has_context {
+                    // Re-registration: contexts already exist; go straight
+                    // to the RAS refresh.
+                    if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                        entry.phase = RegPhase::RasRegistering;
+                    }
+                    let transport = self.signal_addr_for(&imsi);
+                    if let (Some(alias), Some(transport)) = (msisdn, transport) {
+                        self.send_ras(
+                            ctx,
+                            imsi,
+                            RasMessage::Rrq {
+                                alias,
+                                transport,
+                                imsi: None,
+                            },
+                        );
+                    }
+                } else {
+                    // Step 1.3: GPRS attach, just like a GPRS MS would.
+                    if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                        entry.phase = RegPhase::Attaching;
+                    }
+                    ctx.note("Step 1.3: GPRS attach + signaling PDP context");
+                    ctx.send(self.sgsn, Message::Gmm(GmmMessage::AttachRequest { imsi }));
+                }
+            }
+            MapMessage::UpdateLocationAreaReject { conn, cause, .. } => {
+                ctx.count("vmsc.registration_rejected");
+                self.send_a(ctx, conn, Dtap::LocationUpdateReject { cause });
+            }
+            MapMessage::ProcessAccessRequestAck {
+                conn,
+                imsi,
+                rejection,
+            } => {
+                self.by_conn.insert(conn, imsi);
+                if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                    entry.conn = Some(conn);
+                }
+                let mt_call = self.ms_table.get(&imsi).and_then(|e| e.call).filter(|c| {
+                    self.calls
+                        .get(c)
+                        .map(|s| matches!(s.phase, CallPhase::MtPaging | CallPhase::MtAccess))
+                        .unwrap_or(false)
+                });
+                match rejection {
+                    Some(cause) => match mt_call {
+                        Some(call) => {
+                            self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
+                            self.finish_call(ctx, call);
+                        }
+                        None => self.send_a(ctx, conn, Dtap::CmServiceReject { cause }),
+                    },
+                    None => match mt_call {
+                        Some(call) => {
+                            if let Some(state) = self.calls.get_mut(&call) {
+                                state.phase = CallPhase::MtAccess;
+                            }
+                            self.send_a(ctx, conn, Dtap::ChannelAssignment { cell: CellId(0) });
+                        }
+                        None => self.send_a(ctx, conn, Dtap::CmServiceAccept),
+                    },
+                }
+            }
+            MapMessage::SendInfoForOutgoingCallAck {
+                conn, rejection, ..
+            } => {
+                let Some(&imsi) = self.by_conn.get(&conn) else {
+                    return;
+                };
+                let Some(call) = self.ms_table.get(&imsi).and_then(|e| e.call) else {
+                    return;
+                };
+                match rejection {
+                    Some(cause) => {
+                        ctx.count("vmsc.mo_calls_denied");
+                        self.calls.remove(&call);
+                        if let Some(e) = self.ms_table.get_mut(&imsi) {
+                            e.call = None;
+                        }
+                        self.send_a(ctx, conn, Dtap::Disconnect { call, cause });
+                    }
+                    None => {
+                        if let Some(state) = self.calls.get_mut(&call) {
+                            state.phase = CallPhase::MoAssigning;
+                        }
+                        self.send_a(ctx, conn, Dtap::ChannelAssignment { cell: CellId(0) });
+                    }
+                }
+            }
+            // ---- inter-MSC handoff, target side ----
+            MapMessage::PrepareHandover { call, .. } => {
+                self.next_ho_ref += 1;
+                self.next_cic += 1;
+                let (ho_ref, cic) = (self.next_ho_ref, Cic(40_000 + self.next_cic));
+                self.target_handoffs.insert(
+                    ho_ref,
+                    PendingTargetHandoff {
+                        call,
+                        anchor: from,
+                        cic,
+                    },
+                );
+                ctx.count("vmsc.handover_prepared");
+                ctx.send(
+                    from,
+                    Message::Map(MapMessage::PrepareHandoverAck { call, cic, ho_ref }),
+                );
+            }
+            // ---- anchor side ----
+            MapMessage::PrepareHandoverAck { call, cic, ho_ref } => {
+                let Some(state) = self.calls.get_mut(&call) else {
+                    return;
+                };
+                state.e_leg = Some((from, cic));
+                let imsi = state.imsi;
+                let cell = self
+                    .neighbor_cells
+                    .iter()
+                    .find(|(_, &n)| n == from)
+                    .map(|(c, _)| *c)
+                    .unwrap_or(CellId(0));
+                self.send_a_to_ms(ctx, &imsi, Dtap::HandoverCommand { cell, ho_ref });
+            }
+            MapMessage::SendEndSignal { call } => {
+                // Anchor: the MS left for the target MSC; keep the H.323
+                // leg, bridge it onto the inter-MSC trunk (Figure 9(b)).
+                let imsi = self.calls.get(&call).map(|s| s.imsi);
+                let conn = imsi
+                    .and_then(|i| self.ms_table.get_mut(&i))
+                    .and_then(|e| e.conn.take());
+                if let Some(conn) = conn {
+                    self.by_conn.remove(&conn);
+                    self.send_a(ctx, conn, Dtap::ChannelRelease);
+                }
+                ctx.count("vmsc.handover_anchored");
+                ctx.send(from, Message::Map(MapMessage::SendEndSignalAck { call }));
+            }
+            MapMessage::SendEndSignalAck { .. } => {}
+            MapMessage::PurgeMs { imsi } => self.purge_ms(ctx, imsi),
+            _ => ctx.count("vmsc.unhandled_map"),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Gb: GMM/SM answers from the SGSN
+    // ----------------------------------------------------------------
+
+    fn handle_gmm(&mut self, ctx: &mut Context<'_, Message>, msg: GmmMessage) {
+        match msg {
+            GmmMessage::AttachAccept { imsi, .. } => {
+                // Step 1.3 continues: activate the signaling context.
+                if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                    entry.phase = RegPhase::ActivatingSignalingContext;
+                }
+                ctx.send(
+                    self.sgsn,
+                    Message::Gmm(GmmMessage::ActivatePdpContextRequest {
+                        imsi,
+                        nsapi: sig_nsapi(),
+                        qos: QosProfile::signaling(),
+                        static_addr: None,
+                    }),
+                );
+            }
+            GmmMessage::AttachReject { imsi, cause } => {
+                ctx.count("vmsc.attach_rejected");
+                self.fail_registration(ctx, imsi, cause);
+            }
+            GmmMessage::ActivatePdpContextAccept {
+                imsi, nsapi, addr, ..
+            } => {
+                if nsapi == sig_nsapi() {
+                    let resumed_call = {
+                        let Some(entry) = self.ms_table.get_mut(&imsi) else {
+                            return;
+                        };
+                        entry.signaling_addr = Some(addr);
+                        self.by_addr.insert(addr, imsi);
+                        self.awaiting_context
+                            .iter()
+                            .position(|(i, _)| *i == imsi)
+                            .map(|pos| self.awaiting_context.swap_remove(pos).1)
+                    };
+                    if let Some(call) = resumed_call {
+                        // Re-announce the fresh address, then continue the
+                        // interrupted step 2.3.
+                        let alias = self.ms_table.get(&imsi).and_then(|e| e.msisdn);
+                        if let Some(alias) = alias {
+                            let transport = TransportAddr::new(addr, H225_PORT);
+                            self.send_ras(
+                                ctx,
+                                imsi,
+                                RasMessage::Rrq {
+                                    alias,
+                                    transport,
+                                    imsi: None,
+                                },
+                            );
+                        }
+                        let called = self.calls.get(&call).and_then(|c| c.called);
+                        if let Some(called) = called {
+                            self.send_ras(
+                                ctx,
+                                imsi,
+                                RasMessage::Arq {
+                                    call,
+                                    called,
+                                    answering: false,
+                                    bandwidth: 160,
+                                },
+                            );
+                        }
+                        return;
+                    }
+                    if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                        entry.phase = RegPhase::RasRegistering;
+                    }
+                    // Step 1.4: RAS registration of the MS's alias.
+                    ctx.note("Step 1.4: endpoint registration (RRQ) -> GK");
+                    let alias = self.ms_table.get(&imsi).and_then(|e| e.msisdn);
+                    if let Some(alias) = alias {
+                        let transport = TransportAddr::new(addr, H225_PORT);
+                        self.send_ras(
+                            ctx,
+                            imsi,
+                            RasMessage::Rrq {
+                                alias,
+                                transport,
+                                imsi: None,
+                            },
+                        );
+                    } else {
+                        ctx.count("vmsc.no_alias_for_rrq");
+                    }
+                } else {
+                    // Voice context (step 2.9 / 4.8).
+                    if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                        entry.voice_addr = Some(addr);
+                        self.by_addr.insert(addr, imsi);
+                    }
+                    ctx.count("vmsc.voice_context_active");
+                }
+            }
+            GmmMessage::ActivatePdpContextReject { imsi, nsapi, cause } => {
+                ctx.count("vmsc.pdp_rejected");
+                if nsapi == sig_nsapi() {
+                    self.fail_registration(ctx, imsi, cause);
+                }
+            }
+            GmmMessage::DeactivatePdpContextAccept { .. } => {}
+            _ => ctx.count("vmsc.unhandled_gmm"),
+        }
+    }
+
+    fn fail_registration(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi, cause: Cause) {
+        if let Some(entry) = self.ms_table.get_mut(&imsi) {
+            let conn = entry.conn;
+            entry.phase = RegPhase::GsmUpdating;
+            if let Some(conn) = conn {
+                self.send_a(ctx, conn, Dtap::LocationUpdateReject { cause });
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Downlink IP (LLC) from the SGSN
+    // ----------------------------------------------------------------
+
+    fn handle_downlink_ip(&mut self, ctx: &mut Context<'_, Message>, packet: IpPacket) {
+        let Some(&imsi) = self.by_addr.get(&packet.dst.ip) else {
+            ctx.count("vmsc.downlink_unknown_addr");
+            return;
+        };
+        match packet.payload {
+            IpPayload::Ras(ras) => self.handle_ras(ctx, imsi, ras),
+            IpPayload::Q931(q) => self.handle_q931(ctx, imsi, packet.src, q),
+            IpPayload::Rtp(rtp) => self.downlink_voice(ctx, imsi, rtp),
+        }
+    }
+
+    fn handle_ras(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi, ras: RasMessage) {
+        match ras {
+            RasMessage::Rcf { .. } => {
+                // Step 1.5 done → step 1.6: tell the MS.
+                let ready = {
+                    let Some(entry) = self.ms_table.get_mut(&imsi) else {
+                        return;
+                    };
+                    if entry.phase != RegPhase::RasRegistering {
+                        None
+                    } else {
+                        entry.phase = RegPhase::Registered;
+                        Some((entry.tmsi, entry.conn, entry.reg_started))
+                    }
+                };
+                if let Some((tmsi, conn, reg_started)) = ready {
+                    ctx.note("Step 1.6: registration complete; accept -> MS");
+                    ctx.count("vmsc.registrations_completed");
+                    ctx.observe_duration(
+                        "vmsc.registration_ms",
+                        ctx.now().duration_since(reg_started),
+                    );
+                    if let Some(conn) = conn {
+                        self.send_a(ctx, conn, Dtap::LocationUpdateAccept { tmsi });
+                    }
+                    self.maybe_deactivate_signaling(ctx, imsi);
+                }
+            }
+            RasMessage::Rrj { .. } => {
+                ctx.count("vmsc.ras_rejected");
+                self.fail_registration(ctx, imsi, Cause::AdmissionRejected);
+            }
+            RasMessage::Acf {
+                call,
+                dest_call_signal_addr,
+            } => {
+                let (phase, called) = {
+                    let Some(state) = self.calls.get(&call) else {
+                        return;
+                    };
+                    (state.phase, state.called)
+                };
+                match phase {
+                    CallPhase::MoAdmission => {
+                        // Step 2.4: Setup toward the destination.
+                        if let Some(state) = self.calls.get_mut(&call) {
+                            state.phase = CallPhase::MoProgress;
+                            state.remote_signal = Some(dest_call_signal_addr);
+                        }
+                        let called = called.expect("MO call has digits");
+                        let calling = self.ms_table.get(&imsi).and_then(|e| e.msisdn);
+                        let signal_addr = self.signal_addr_for(&imsi);
+                        let media_addr = self.media_addr_for(&imsi);
+                        if let (Some(signal_addr), Some(media_addr)) = (signal_addr, media_addr)
+                        {
+                            self.send_q931(
+                                ctx,
+                                call,
+                                Q931Kind::Setup {
+                                    calling,
+                                    called,
+                                    signal_addr,
+                                    media_addr,
+                                },
+                            );
+                        }
+                    }
+                    CallPhase::MtAdmission => {
+                        // Step 4.4: page the MS; give up if it never
+                        // answers (stale registration, coverage hole).
+                        if let Some(state) = self.calls.get_mut(&call) {
+                            state.phase = CallPhase::MtPaging;
+                        }
+                        ctx.set_timer(PAGING_TIMEOUT, TAG_PAGING | call.0);
+                        ctx.note("Step 4.4: page the MS");
+                        ctx.count("vmsc.pages_sent");
+                        // Page by TMSI when one is allocated: the IMSI
+                        // should not hit the air interface (GSM 03.20).
+                        let identity = self
+                            .ms_table
+                            .get(&imsi)
+                            .and_then(|e| e.tmsi)
+                            .map(MsIdentity::Tmsi)
+                            .unwrap_or(MsIdentity::Imsi(imsi));
+                        match identity {
+                            MsIdentity::Tmsi(_) => ctx.count("vmsc.paged_by_tmsi"),
+                            MsIdentity::Imsi(_) => ctx.count("vmsc.paged_by_imsi"),
+                        }
+                        for &bsc in &self.bscs.clone() {
+                            ctx.send(
+                                bsc,
+                                Message::a(ConnRef::CONNECTIONLESS, Dtap::Paging { identity }),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            RasMessage::Arj { call, cause } => {
+                ctx.count("vmsc.admission_rejected");
+                if let Some(state) = self.calls.get(&call) {
+                    if state.remote_signal.is_some() {
+                        self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
+                    }
+                }
+                self.send_a_to_ms(ctx, &imsi, Dtap::Disconnect { call, cause });
+                self.calls.remove(&call);
+                if let Some(e) = self.ms_table.get_mut(&imsi) {
+                    e.call = None;
+                }
+            }
+            RasMessage::Dcf { .. } => {}
+            _ => ctx.count("vmsc.unhandled_ras"),
+        }
+    }
+
+    fn handle_q931(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        imsi: Imsi,
+        src: TransportAddr,
+        msg: Q931Message,
+    ) {
+        match msg.kind {
+            Q931Kind::Setup {
+                calling,
+                signal_addr,
+                media_addr,
+                ..
+            } => {
+                // Step 4.2: an incoming call arrived through the GGSN.
+                let busy = match self.ms_table.get(&imsi) {
+                    Some(entry) => entry.call.is_some(),
+                    None => return,
+                };
+                if busy {
+                    let reply = Q931Message {
+                        crv: msg.crv,
+                        call: msg.call,
+                        kind: Q931Kind::ReleaseComplete {
+                            cause: Cause::UserBusy,
+                        },
+                    };
+                    self.send_ip_for(ctx, imsi, H225_PORT, src, IpPayload::Q931(reply));
+                    return;
+                }
+                if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                    entry.call = Some(msg.call);
+                }
+                self.calls.insert(
+                    msg.call,
+                    VmscCall {
+                        imsi,
+                        phase: CallPhase::MtAdmission,
+                        crv: msg.crv,
+                        remote_signal: Some(signal_addr),
+                        remote_media: Some(media_addr),
+                        called: None,
+                        calling,
+                        started_at: ctx.now(),
+                        connected_at: None,
+                        rtp_seq: 0,
+                        e_leg: None,
+                        target_role: false,
+                    },
+                );
+                ctx.count("vmsc.mt_calls");
+                ctx.note("Step 4.2: incoming Setup via GGSN; Call Proceeding back");
+                self.send_q931(ctx, msg.call, Q931Kind::CallProceeding);
+                // Step 4.3: admission for the answering side.
+                let called = self.ms_table.get(&imsi).and_then(|e| e.msisdn);
+                if let Some(called) = called {
+                    self.send_ras(
+                        ctx,
+                        imsi,
+                        RasMessage::Arq {
+                            call: msg.call,
+                            called,
+                            answering: true,
+                            bandwidth: 160,
+                        },
+                    );
+                }
+            }
+            Q931Kind::CallProceeding => ctx.count("vmsc.call_proceeding"),
+            Q931Kind::Alerting => {
+                // Step 2.7: ring back toward the MS.
+                self.send_a_to_ms(ctx, &imsi, Dtap::Alerting { call: msg.call });
+            }
+            Q931Kind::Connect { media_addr } => {
+                // Step 2.8: answered.
+                if let Some(state) = self.calls.get_mut(&msg.call) {
+                    state.remote_media = Some(media_addr);
+                }
+                self.send_a_to_ms(ctx, &imsi, Dtap::Connect { call: msg.call });
+            }
+            Q931Kind::ReleaseComplete { cause } => {
+                // The far end hung up: clear the radio side.
+                self.send_a_to_ms(ctx, &imsi, Dtap::Disconnect { call: msg.call, cause });
+                self.finish_call(ctx, msg.call);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Voice bridging (the vocoder + PCU of Figure 2(b))
+    // ----------------------------------------------------------------
+
+    fn uplink_voice(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        call: CallId,
+        seq: u32,
+        origin_us: u64,
+    ) {
+        let (target_role, e_leg, remote_media, imsi) = {
+            let Some(state) = self.calls.get(&call) else {
+                return;
+            };
+            (
+                state.target_role,
+                state.e_leg,
+                state.remote_media,
+                state.imsi,
+            )
+        };
+        // Target role after handoff: bridge radio → anchor trunk.
+        if target_role {
+            if let Some((anchor, cic)) = e_leg {
+                ctx.send(
+                    anchor,
+                    Message::TrunkVoice {
+                        cic,
+                        call,
+                        seq,
+                        origin_us,
+                    },
+                );
+            }
+            return;
+        }
+        let Some(remote) = remote_media else {
+            return;
+        };
+        let rtp_seq = {
+            let Some(state) = self.calls.get_mut(&call) else {
+                return;
+            };
+            state.rtp_seq = state.rtp_seq.wrapping_add(1);
+            state.rtp_seq
+        };
+        // Prefer the high-priority voice context once it is up.
+        let (nsapi, src_ip) = {
+            let entry = self.ms_table.get(&imsi);
+            match entry.and_then(|e| e.voice_addr) {
+                Some(a) => (voice_nsapi(), Some(a)),
+                None => (
+                    sig_nsapi(),
+                    entry.and_then(|e| e.signaling_addr),
+                ),
+            }
+        };
+        let Some(src_ip) = src_ip else {
+            return;
+        };
+        let rtp = RtpPacket {
+            ssrc: u32::from(rtp_seq) | 0x564D_0000, // "VM…"
+            seq: rtp_seq,
+            timestamp: (origin_us / 125) as u32,
+            payload_type: PAYLOAD_TYPE_GSM,
+            marker: seq == 1,
+            payload_len: 33,
+            call,
+            origin_us,
+        };
+        ctx.send(
+            self.sgsn,
+            Message::Llc {
+                imsi,
+                nsapi,
+                inner: Box::new(IpPacket::new(
+                    TransportAddr::new(src_ip, MEDIA_PORT),
+                    remote,
+                    IpPayload::Rtp(rtp),
+                )),
+            },
+        );
+    }
+
+    fn downlink_voice(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi, rtp: RtpPacket) {
+        let Some(entry) = self.ms_table.get(&imsi) else {
+            return;
+        };
+        let Some(call) = entry.call else {
+            return;
+        };
+        // Anchor role after handoff: bridge RTP → inter-MSC trunk.
+        let handed_off = entry.conn.is_none();
+        if handed_off {
+            if let Some((target, cic)) = self.calls.get(&call).and_then(|c| c.e_leg) {
+                ctx.send(
+                    target,
+                    Message::TrunkVoice {
+                        cic,
+                        call,
+                        seq: u32::from(rtp.seq),
+                        origin_us: rtp.origin_us,
+                    },
+                );
+            }
+            return;
+        }
+        self.send_a_to_ms(
+            ctx,
+            &imsi,
+            Dtap::VoiceFrame {
+                call,
+                seq: u32::from(rtp.seq),
+                origin_us: rtp.origin_us,
+            },
+        );
+    }
+
+    /// Trunk voice from a peer MSC over the E interface.
+    fn handle_trunk_voice(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        call: CallId,
+        seq: u32,
+        origin_us: u64,
+    ) {
+        let Some(state) = self.calls.get(&call) else {
+            return;
+        };
+        if state.target_role {
+            // Deliver to the MS on our radio network.
+            let conn = self
+                .by_conn_call
+                .iter()
+                .find(|(_, &c)| c == call)
+                .map(|(conn, _)| *conn);
+            if let Some(conn) = conn {
+                self.send_a(
+                    ctx,
+                    conn,
+                    Dtap::VoiceFrame {
+                        call,
+                        seq,
+                        origin_us,
+                    },
+                );
+            }
+        } else {
+            // Anchor: MS roamed away; this is uplink voice from the target
+            // to be carried onward as RTP.
+            self.uplink_voice(ctx, call, seq, origin_us);
+        }
+    }
+}
+
+impl Node<Message> for Vmsc {
+    fn on_timer(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        _token: vgprs_sim::TimerToken,
+        tag: u64,
+    ) {
+        // Paging supervision: tags are namespaced; low bits = call id.
+        if tag & TAG_PAGING == 0 {
+            return;
+        }
+        let call = CallId(tag & !TAG_PAGING);
+        let still_paging = self
+            .calls
+            .get(&call)
+            .map(|c| c.phase == CallPhase::MtPaging)
+            .unwrap_or(false);
+        if still_paging {
+            ctx.count("vmsc.paging_timeouts");
+            self.send_q931(
+                ctx,
+                call,
+                Q931Kind::ReleaseComplete {
+                    cause: Cause::SubscriberAbsent,
+                },
+            );
+            self.finish_call(ctx, call);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        iface: Interface,
+        msg: Message,
+    ) {
+        match (iface, msg) {
+            (Interface::A, Message::A { conn, dtap }) => self.handle_a(ctx, from, conn, dtap),
+            (Interface::B | Interface::C | Interface::E, Message::Map(m)) => {
+                self.handle_map(ctx, from, m)
+            }
+            (Interface::Gb, Message::Gmm(m)) => self.handle_gmm(ctx, m),
+            (Interface::Gb, Message::Llc { inner, .. }) => self.handle_downlink_ip(ctx, *inner),
+            (
+                Interface::E,
+                Message::TrunkVoice {
+                    call,
+                    seq,
+                    origin_us,
+                    ..
+                },
+            ) => self.handle_trunk_voice(ctx, call, seq, origin_us),
+            _ => ctx.count("vmsc.unexpected_message"),
+        }
+    }
+}

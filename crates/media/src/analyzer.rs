@@ -1,0 +1,202 @@
+//! End-to-end voice-path analysis.
+//!
+//! Collects per-frame (sequence, origin, arrival) records from a receiver,
+//! replays them through a [`JitterBuffer`], and scores the path with the
+//! [`EModel`]. This is the single instrument every voice experiment
+//! reports through, so vGPRS and baseline numbers are produced
+//! identically.
+
+use vgprs_sim::{SimDuration, SimTime};
+
+use crate::emodel::EModel;
+use crate::jitter::JitterBuffer;
+use crate::vocoder::Vocoder;
+
+/// One received frame observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// Sender-side sequence number.
+    pub seq: u32,
+    /// When the frame was created (simulated microseconds).
+    pub origin_us: u64,
+    /// When it arrived at the listener.
+    pub arrival: SimTime,
+}
+
+/// The scored result of a voice path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VoiceScore {
+    /// Frames observed at the receiver.
+    pub frames: u64,
+    /// Mean network one-way delay (origin → arrival).
+    pub mean_network_delay: SimDuration,
+    /// 95th-percentile network delay.
+    pub p95_network_delay: SimDuration,
+    /// Effective loss after the jitter buffer (late + missing).
+    pub effective_loss: f64,
+    /// Mouth-to-ear delay used for scoring: mean network delay + codec
+    /// processing + jitter-buffer playout delay.
+    pub mouth_to_ear: SimDuration,
+    /// E-model transmission rating.
+    pub rating: f64,
+    /// Mean opinion score (1.0–4.5).
+    pub mos: f64,
+}
+
+/// Collects frames and produces a [`VoiceScore`].
+#[derive(Debug)]
+pub struct StreamAnalyzer {
+    codec: Vocoder,
+    playout_delay: SimDuration,
+    records: Vec<FrameRecord>,
+}
+
+impl StreamAnalyzer {
+    /// Creates an analyzer for a codec with a receiver jitter buffer of
+    /// the given playout delay.
+    pub fn new(codec: Vocoder, playout_delay: SimDuration) -> Self {
+        StreamAnalyzer {
+            codec,
+            playout_delay,
+            records: Vec::new(),
+        }
+    }
+
+    /// Records one received frame.
+    pub fn record(&mut self, seq: u32, origin_us: u64, arrival: SimTime) {
+        self.records.push(FrameRecord {
+            seq,
+            origin_us,
+            arrival,
+        });
+    }
+
+    /// Number of frames recorded so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no frames were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Scores the collected stream.
+    ///
+    /// Returns `None` if no frames were recorded (no path at all is a
+    /// different failure from a scored-bad path, so it is not given a
+    /// fake MOS of 1.0).
+    pub fn score(&self) -> Option<VoiceScore> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut jb = JitterBuffer::new(self.playout_delay, self.codec.frame_interval);
+        let mut delays_us: Vec<u64> = Vec::with_capacity(self.records.len());
+        for r in &self.records {
+            jb.offer(r.seq, r.arrival);
+            delays_us.push(r.arrival.as_micros().saturating_sub(r.origin_us));
+        }
+        delays_us.sort_unstable();
+        let mean_us = delays_us.iter().sum::<u64>() / delays_us.len() as u64;
+        let p95_us = delays_us[((delays_us.len() - 1) as f64 * 0.95).round() as usize];
+        let mean_network_delay = SimDuration::from_micros(mean_us);
+        let mouth_to_ear =
+            mean_network_delay + self.codec.transcoding_delay() + self.playout_delay;
+        let loss = jb.effective_loss();
+        let model = EModel::for_codec(&self.codec);
+        let rating = model.rating(mouth_to_ear, loss);
+        Some(VoiceScore {
+            frames: self.records.len() as u64,
+            mean_network_delay,
+            p95_network_delay: SimDuration::from_micros(p95_us),
+            effective_loss: loss,
+            mouth_to_ear,
+            rating,
+            mos: EModel::mos_from_rating(rating),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> StreamAnalyzer {
+        StreamAnalyzer::new(Vocoder::gsm_full_rate(), SimDuration::from_millis(60))
+    }
+
+    /// Feeds a clean stream: `n` frames, constant one-way delay.
+    fn feed_clean(a: &mut StreamAnalyzer, n: u32, delay_ms: u64) {
+        for seq in 1..=n {
+            let origin = u64::from(seq) * 20_000;
+            a.record(
+                seq,
+                origin,
+                SimTime::from_micros(origin + delay_ms * 1000),
+            );
+        }
+    }
+
+    #[test]
+    fn clean_stream_scores_high() {
+        let mut a = analyzer();
+        feed_clean(&mut a, 200, 30);
+        let s = a.score().expect("frames present");
+        assert_eq!(s.frames, 200);
+        assert_eq!(s.effective_loss, 0.0);
+        assert_eq!(s.mean_network_delay, SimDuration::from_millis(30));
+        // 30 net + 20 codec + 60 jitter = 110 ms mouth-to-ear
+        assert_eq!(s.mouth_to_ear, SimDuration::from_millis(110));
+        assert!(s.mos > 3.3, "{}", s.mos);
+    }
+
+    #[test]
+    fn lossy_stream_scores_lower() {
+        let mut clean = analyzer();
+        feed_clean(&mut clean, 100, 30);
+        let mut lossy = analyzer();
+        for seq in 1..=100u32 {
+            if seq % 5 == 0 {
+                continue; // 20 % loss
+            }
+            let origin = u64::from(seq) * 20_000;
+            lossy.record(seq, origin, SimTime::from_micros(origin + 30_000));
+        }
+        let c = clean.score().unwrap();
+        let l = lossy.score().unwrap();
+        assert!(l.effective_loss > 0.15);
+        assert!(l.mos < c.mos);
+    }
+
+    #[test]
+    fn jittered_stream_counts_late_frames() {
+        let mut a = analyzer();
+        // every 4th frame delayed past the playout point
+        for seq in 1..=100u32 {
+            let origin = u64::from(seq) * 20_000;
+            let delay = if seq % 4 == 0 { 200_000 } else { 10_000 };
+            a.record(seq, origin, SimTime::from_micros(origin + delay));
+        }
+        let s = a.score().unwrap();
+        assert!(s.effective_loss > 0.2, "{}", s.effective_loss);
+    }
+
+    #[test]
+    fn empty_stream_has_no_score() {
+        assert!(analyzer().score().is_none());
+        assert!(analyzer().is_empty());
+    }
+
+    #[test]
+    fn percentile_reflects_tail() {
+        let mut a = analyzer();
+        for seq in 1..=100u32 {
+            let origin = u64::from(seq) * 20_000;
+            let delay = if seq > 94 { 90_000 } else { 10_000 };
+            a.record(seq, origin, SimTime::from_micros(origin + delay));
+        }
+        let s = a.score().unwrap();
+        assert_eq!(s.p95_network_delay, SimDuration::from_millis(90));
+        assert!(s.mean_network_delay < SimDuration::from_millis(20));
+    }
+}

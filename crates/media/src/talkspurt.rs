@@ -1,0 +1,88 @@
+//! Conversational speech activity model (Brady on/off).
+//!
+//! Load experiments don't send continuous voice: speakers alternate
+//! talkspurts and silences. P. Brady's classic measurements give mean
+//! talkspurt ≈ 1.0 s and mean silence ≈ 1.35 s, exponentially
+//! distributed — that duty cycle (~42 %) sets how much air capacity the
+//! packet baseline actually fights over in experiment C1.
+
+use vgprs_sim::{SimDuration, SimRng};
+
+/// An on/off speech activity source.
+#[derive(Clone, Copy, Debug)]
+pub struct TalkspurtModel {
+    /// Mean talkspurt length.
+    pub mean_talk: SimDuration,
+    /// Mean silence length.
+    pub mean_silence: SimDuration,
+}
+
+impl TalkspurtModel {
+    /// Brady's conversational-speech parameters.
+    pub fn brady() -> Self {
+        TalkspurtModel {
+            mean_talk: SimDuration::from_millis(1_000),
+            mean_silence: SimDuration::from_millis(1_350),
+        }
+    }
+
+    /// A source that never pauses (continuous tone / worst case).
+    pub fn continuous() -> Self {
+        TalkspurtModel {
+            mean_talk: SimDuration::from_secs(3_600),
+            mean_silence: SimDuration::ZERO,
+        }
+    }
+
+    /// Samples the next talkspurt duration.
+    pub fn sample_talk(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.mean_talk.as_secs_f64()))
+    }
+
+    /// Samples the next silence duration.
+    pub fn sample_silence(&self, rng: &mut SimRng) -> SimDuration {
+        if self.mean_silence.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(rng.exponential(self.mean_silence.as_secs_f64()))
+        }
+    }
+
+    /// Long-run fraction of time spent talking.
+    pub fn activity_factor(&self) -> f64 {
+        let t = self.mean_talk.as_secs_f64();
+        let s = self.mean_silence.as_secs_f64();
+        t / (t + s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brady_activity_factor() {
+        let m = TalkspurtModel::brady();
+        assert!((m.activity_factor() - 0.4255).abs() < 0.001);
+    }
+
+    #[test]
+    fn continuous_never_pauses() {
+        let m = TalkspurtModel::continuous();
+        assert_eq!(m.activity_factor(), 1.0);
+        let mut rng = SimRng::new(1);
+        assert_eq!(m.sample_silence(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn samples_follow_means() {
+        let m = TalkspurtModel::brady();
+        let mut rng = SimRng::new(42);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_talk(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "sample mean {mean}");
+    }
+}

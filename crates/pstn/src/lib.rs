@@ -1,0 +1,18 @@
+//! # vgprs-pstn — circuit-switched telephone network substrate
+//!
+//! ISUP switches with longest-prefix routing and per-trunk-class cost
+//! accounting ([`PstnSwitch`], [`Ledger`]), plus plain telephones
+//! ([`PstnPhone`]). The accounting ledger is the measurement instrument
+//! for the paper's tromboning scenarios (Figures 7–8): it records every
+//! local/national/international trunk seizure per call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod phone;
+mod switch;
+
+pub use accounting::{Ledger, TrunkClass, TrunkUse};
+pub use phone::{PhoneState, PstnPhone};
+pub use switch::{PstnSwitch, Route};

@@ -1,0 +1,196 @@
+//! The side-effect API available to a node during a callback.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle identifying a pending timer, returned by [`Context::set_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimerToken(pub(crate) u64);
+
+impl fmt::Debug for TimerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// Deferred side effects collected during a node callback and applied by the
+/// network afterwards, keeping execution deterministic and borrow-friendly.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    Timer { at: SimTime, token: TimerToken, tag: u64 },
+    CancelTimer { token: TimerToken },
+    Note { text: String },
+}
+
+/// A node's window onto the simulation during a callback.
+///
+/// All interaction with the outside world — sending messages, arming timers,
+/// recording statistics, drawing randomness — goes through the context.
+/// Effects are applied after the callback returns, in the order they were
+/// requested.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) effects: Vec<Effect<M>>,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) stats: &'a mut Stats,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<M> Context<'_, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being called back.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` over the link provisioned between the two nodes.
+    ///
+    /// The message is subject to the link's latency, jitter, loss and
+    /// bandwidth. If no link exists the network panics when applying the
+    /// effect — a missing link is a topology bug, not a runtime condition.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Arms a one-shot timer that fires after `delay` with the given `tag`.
+    /// Returns a token usable with [`cancel_timer`](Context::cancel_timer).
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerToken {
+        let token = TimerToken(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::Timer {
+            at: self.now + delay,
+            token,
+            tag,
+        });
+        token
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.effects.push(Effect::CancelTimer { token });
+    }
+
+    /// Appends a free-text annotation to the trace, attributed to this node
+    /// at the current time. Used to mark procedure steps (e.g. `"Step 1.3"`).
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.effects.push(Effect::Note { text: text.into() });
+    }
+
+    /// Increments the named counter.
+    pub fn count(&mut self, name: &str) {
+        self.stats.count(name);
+    }
+
+    /// Adds `value` to the named counter.
+    pub fn count_by(&mut self, name: &str, value: u64) {
+        self.stats.count_by(name, value);
+    }
+
+    /// Records an observation in the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.stats.observe(name, value);
+    }
+
+    /// Records a duration observation (in milliseconds) in the named
+    /// histogram.
+    pub fn observe_duration(&mut self, name: &str, value: SimDuration) {
+        self.stats.observe(name, value.as_secs_f64() * 1_000.0);
+    }
+
+    /// The deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        rng: &'a mut SimRng,
+        stats: &'a mut Stats,
+        next_timer: &'a mut u64,
+    ) -> Context<'a, u32> {
+        Context {
+            now: SimTime::from_micros(1_000),
+            self_id: NodeId(3),
+            effects: Vec::new(),
+            rng,
+            stats,
+            next_timer,
+        }
+    }
+
+    #[test]
+    fn effects_accumulate_in_order() {
+        let mut rng = SimRng::new(0);
+        let mut stats = Stats::new();
+        let mut nt = 0;
+        let mut c = ctx(&mut rng, &mut stats, &mut nt);
+        c.send(NodeId(1), 42);
+        let t = c.set_timer(SimDuration::from_millis(5), 9);
+        c.cancel_timer(t);
+        c.note("hello");
+        assert_eq!(c.effects.len(), 4);
+        match &c.effects[1] {
+            Effect::Timer { at, tag, .. } => {
+                assert_eq!(*at, SimTime::from_micros(6_000));
+                assert_eq!(*tag, 9);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_tokens_unique() {
+        let mut rng = SimRng::new(0);
+        let mut stats = Stats::new();
+        let mut nt = 0;
+        let mut c = ctx(&mut rng, &mut stats, &mut nt);
+        let a = c.set_timer(SimDuration::ZERO, 0);
+        let b = c.set_timer(SimDuration::ZERO, 0);
+        assert_ne!(a, b);
+        assert_eq!(nt, 2);
+    }
+
+    #[test]
+    fn stats_accessible() {
+        let mut rng = SimRng::new(0);
+        let mut stats = Stats::new();
+        let mut nt = 0;
+        {
+            let mut c = ctx(&mut rng, &mut stats, &mut nt);
+            c.count("x");
+            c.count_by("x", 2);
+            c.observe("h", 1.5);
+            c.observe_duration("d", SimDuration::from_millis(3));
+        }
+        assert_eq!(stats.counter("x"), 3);
+        assert_eq!(stats.histogram("h").unwrap().count(), 1);
+        assert!((stats.histogram("d").unwrap().mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_accessors() {
+        let mut rng = SimRng::new(0);
+        let mut stats = Stats::new();
+        let mut nt = 0;
+        let c = ctx(&mut rng, &mut stats, &mut nt);
+        assert_eq!(c.id(), NodeId(3));
+        assert_eq!(c.now(), SimTime::from_micros(1_000));
+    }
+}

@@ -1,0 +1,149 @@
+//! Internal event queue with deterministic ordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::context::TimerToken;
+use crate::interface::Interface;
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` to `to`, as sent by `from` over `iface`.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        iface: Interface,
+        msg: M,
+    },
+    /// Fire a timer on `node`.
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        tag: u64,
+    },
+    /// Invoke `on_start` for a node added after the network started.
+    Start { node: NodeId },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    // Reversed so the BinaryHeap pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap over (time, sequence) with a monotonically increasing sequence
+/// number so simultaneous events fire in scheduling order.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer_event(node: u32, tag: u64) -> EventKind<()> {
+        EventKind::Timer {
+            node: NodeId(node),
+            token: TimerToken(tag),
+            tag,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer_event(0, 0));
+        q.push(SimTime::from_micros(10), timer_event(0, 1));
+        q.push(SimTime::from_micros(20), timer_event(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for tag in 0..5 {
+            q.push(SimTime::from_micros(100), timer_event(0, tag));
+        }
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(5), timer_event(0, 0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+    }
+}

@@ -1,0 +1,249 @@
+//! ASCII ladder-diagram rendering of a [`Trace`].
+//!
+//! This is how the reproduction *prints* the paper's Figures 4–6: each
+//! participant is a vertical lane, each message an arrow between lanes,
+//! annotated with the message name — the same visual language as the
+//! figures themselves.
+
+use std::fmt::Write as _;
+
+use crate::node::NodeId;
+use crate::trace::{Trace, TraceEntry};
+
+/// Renders a [`Trace`] (or a participant subset of it) as an ASCII ladder.
+///
+/// # Examples
+///
+/// ```rust
+/// use vgprs_sim::{LadderDiagram, Trace};
+/// let trace = Trace::default();
+/// let ladder = LadderDiagram::new(&trace);
+/// let _text = ladder.render();
+/// ```
+#[derive(Debug)]
+pub struct LadderDiagram<'a> {
+    trace: &'a Trace,
+    participants: Option<Vec<NodeId>>,
+    show_times: bool,
+    lane_width: usize,
+}
+
+impl<'a> LadderDiagram<'a> {
+    /// A ladder over every node that appears in the trace, in order of
+    /// first appearance.
+    pub fn new(trace: &'a Trace) -> Self {
+        LadderDiagram {
+            trace,
+            participants: None,
+            show_times: true,
+            lane_width: 14,
+        }
+    }
+
+    /// Restricts lanes to the given participants, in the given order.
+    /// Messages to or from other nodes are omitted.
+    pub fn with_participants(mut self, participants: impl Into<Vec<NodeId>>) -> Self {
+        self.participants = Some(participants.into());
+        self
+    }
+
+    /// Hides the time column.
+    pub fn without_times(mut self) -> Self {
+        self.show_times = false;
+        self
+    }
+
+    /// Sets the lane width in characters (minimum 8).
+    pub fn with_lane_width(mut self, width: usize) -> Self {
+        self.lane_width = width.max(8);
+        self
+    }
+
+    fn participant_order(&self) -> Vec<NodeId> {
+        if let Some(p) = &self.participants {
+            return p.clone();
+        }
+        let mut seen = Vec::new();
+        for e in self.trace.entries() {
+            let nodes: [Option<NodeId>; 2] = match e {
+                TraceEntry::Message { from, to, .. } => [Some(*from), Some(*to)],
+                TraceEntry::Note { node, .. } => [Some(*node), None],
+            };
+            for n in nodes.into_iter().flatten() {
+                if !seen.contains(&n) {
+                    seen.push(n);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Produces the ladder as a multi-line string.
+    pub fn render(&self) -> String {
+        let parts = self.participant_order();
+        if parts.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let lane = self.lane_width;
+        let time_pad = if self.show_times { 12 } else { 0 };
+        let mut out = String::new();
+
+        // Header with node names centered over their lanes.
+        out.push_str(&" ".repeat(time_pad));
+        for p in &parts {
+            let name = self.trace.node_name(*p);
+            let name = if name.len() > lane { &name[..lane] } else { name };
+            let pad = lane.saturating_sub(name.len());
+            let left = pad / 2;
+            let _ = write!(out, "{}{}{}", " ".repeat(left), name, " ".repeat(pad - left));
+        }
+        out.push('\n');
+
+        let col = |p: &NodeId| -> Option<usize> {
+            parts
+                .iter()
+                .position(|x| x == p)
+                .map(|i| time_pad + i * lane + lane / 2)
+        };
+
+        for e in self.trace.entries() {
+            match e {
+                TraceEntry::Message {
+                    at,
+                    from,
+                    to,
+                    iface,
+                    label,
+                    ..
+                } => {
+                    let (Some(cf), Some(ct)) = (col(from), col(to)) else {
+                        continue;
+                    };
+                    let mut line = vec![b' '; time_pad + parts.len() * lane];
+                    if self.show_times {
+                        let ts = format!("{:>9}", at.to_string());
+                        line[..ts.len().min(time_pad)]
+                            .copy_from_slice(&ts.as_bytes()[..ts.len().min(time_pad)]);
+                    }
+                    // lane rails
+                    for p in &parts {
+                        if let Some(c) = col(p) {
+                            line[c] = b'|';
+                        }
+                    }
+                    let (lo, hi) = if cf < ct { (cf, ct) } else { (ct, cf) };
+                    for cell in line.iter_mut().take(hi).skip(lo + 1) {
+                        *cell = b'-';
+                    }
+                    if cf < ct {
+                        line[hi] = b'>';
+                        line[lo] = b'|';
+                    } else if ct < cf {
+                        line[lo] = b'<';
+                        line[hi] = b'|';
+                    } else {
+                        line[cf] = b'o'; // self-message
+                    }
+                    let mut text = String::from_utf8(line).expect("ascii");
+                    let _ = write!(text, "  {label} [{iface}]");
+                    out.push_str(&text);
+                    out.push('\n');
+                }
+                TraceEntry::Note { at, node, text } => {
+                    let name = self.trace.node_name(*node);
+                    if self.show_times {
+                        let _ = writeln!(out, "{:>9}  * {name}: {text}", at.to_string());
+                    } else {
+                        let _ = writeln!(out, "  * {name}: {text}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::Interface;
+    use crate::time::SimTime;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new();
+        t.register_node("MS");
+        t.register_node("BTS");
+        t.register_node("BSC");
+        t.record_message(
+            SimTime::from_micros(1_000),
+            NodeId(0),
+            NodeId(1),
+            Interface::Um,
+            "Um_Setup".into(),
+            String::new(),
+        );
+        t.record_message(
+            SimTime::from_micros(2_000),
+            NodeId(1),
+            NodeId(2),
+            Interface::Abis,
+            "Abis_Setup".into(),
+            String::new(),
+        );
+        t.record_message(
+            SimTime::from_micros(3_000),
+            NodeId(2),
+            NodeId(0),
+            Interface::A,
+            "Back".into(),
+            String::new(),
+        );
+        t.record_note(SimTime::from_micros(4_000), NodeId(2), "Step 2.1 done".into());
+        t
+    }
+
+    #[test]
+    fn renders_all_messages() {
+        let t = trace();
+        let out = LadderDiagram::new(&t).render();
+        assert!(out.contains("Um_Setup [Um]"));
+        assert!(out.contains("Abis_Setup [Abis]"));
+        assert!(out.contains("Back [A]"));
+        assert!(out.contains("Step 2.1 done"));
+        assert!(out.contains("MS"));
+        assert!(out.contains("BTS"));
+    }
+
+    #[test]
+    fn arrow_direction() {
+        let t = trace();
+        let out = LadderDiagram::new(&t).without_times().render();
+        let lines: Vec<&str> = out.lines().collect();
+        // first message goes right (MS -> BTS), second right, third left
+        assert!(lines[1].contains("->") || lines[1].contains('>'));
+        assert!(lines[3].contains('<'));
+    }
+
+    #[test]
+    fn participant_filter_drops_foreign_messages() {
+        let t = trace();
+        let out = LadderDiagram::new(&t)
+            .with_participants(vec![NodeId(0), NodeId(1)])
+            .render();
+        assert!(out.contains("Um_Setup"));
+        assert!(!out.contains("Abis_Setup"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::default();
+        assert_eq!(LadderDiagram::new(&t).render(), "(empty trace)\n");
+    }
+
+    #[test]
+    fn lane_width_clamped() {
+        let t = trace();
+        let out = LadderDiagram::new(&t).with_lane_width(1).render();
+        assert!(out.contains("Um_Setup"));
+    }
+}

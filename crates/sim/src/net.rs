@@ -1,0 +1,739 @@
+//! The simulated network: nodes, links, and the execution loop.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use crate::context::{Context, Effect, TimerToken};
+use crate::event::{EventKind, EventQueue};
+use crate::interface::Interface;
+use crate::link::{Link, LinkConfig, LinkQuality};
+use crate::node::{Node, NodeId, Payload};
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Object-safe shim adding downcast support to every [`Node`].
+trait AnyNode<M: Payload>: Node<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M: Payload, T: Node<M> + 'static> AnyNode<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Result of an execution call such as
+/// [`Network::run_until_quiescent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of events processed by this call.
+    pub events: u64,
+    /// Simulated time when the call returned.
+    pub at: SimTime,
+    /// True if the queue drained; false if the event cap stopped the run.
+    pub quiescent: bool,
+}
+
+/// A deterministic simulated network of [`Node`]s.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+pub struct Network<M: Payload> {
+    now: SimTime,
+    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    queue: EventQueue<M>,
+    rng: SimRng,
+    stats: Stats,
+    trace: Trace,
+    cancelled: HashSet<TimerToken>,
+    next_timer: u64,
+    started: bool,
+    max_events: u64,
+    trace_details: bool,
+}
+
+impl<M: Payload> Network<M> {
+    /// Creates an empty network seeded with `seed`. Identical seeds and
+    /// identical scenario code produce identical traces.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            now: SimTime::ZERO,
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: EventQueue::new(),
+            rng: SimRng::new(seed),
+            stats: Stats::new(),
+            trace: Trace::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            started: false,
+            max_events: 50_000_000,
+            trace_details: true,
+        }
+    }
+
+    /// Disables per-message `Debug` detail capture in the trace (labels
+    /// are always recorded). Load sweeps that never scan message
+    /// contents turn this off to avoid formatting every delivery.
+    pub fn set_trace_details(&mut self, enabled: bool) {
+        self.trace_details = enabled;
+    }
+
+    /// Caps the number of events a single run call may process (a runaway
+    /// guard; the default is fifty million).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn set_max_events(&mut self, cap: u64) {
+        assert!(cap > 0, "event cap must be positive");
+        self.max_events = cap;
+    }
+
+    /// Registers a node under a display name and returns its id.
+    ///
+    /// If the network has already started running, the node's
+    /// [`Node::on_start`] is invoked immediately.
+    pub fn add_node<N>(&mut self, name: &str, node: N) -> NodeId
+    where
+        N: Node<M> + 'static,
+    {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        self.trace.register_node(name);
+        if self.started {
+            // Deferred so the caller can still provision links before the
+            // node's on_start sends anything.
+            self.queue.push(self.now, EventKind::Start { node: id });
+        }
+        id
+    }
+
+    /// Provisions a symmetric link between `a` and `b` with fixed `latency`,
+    /// tagged with the given interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link between the pair already exists, or if `a == b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, iface: Interface, latency: SimDuration) {
+        self.connect_with(
+            a,
+            b,
+            LinkConfig::symmetric(iface, LinkQuality::new(latency)),
+        );
+    }
+
+    /// Provisions a link with full [`LinkConfig`] control.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate links or self-links; both indicate topology bugs.
+    pub fn connect_with(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        assert_ne!(a, b, "cannot link a node to itself");
+        assert!(
+            (a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len(),
+            "link endpoints must be registered nodes"
+        );
+        let key = Self::link_key(a, b);
+        let prev = self.links.insert(key, Link { a, b, config });
+        assert!(
+            prev.is_none(),
+            "duplicate link between {a} and {b} (interface {})",
+            config.interface
+        );
+    }
+
+    fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a.0 <= b.0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The link between two nodes, if provisioned.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        self.links.get(&Self::link_key(a, b))
+    }
+
+    /// Iterates over all provisioned links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.values()
+    }
+
+    /// Replaces the quality of an existing link (both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link exists between the pair.
+    pub fn set_link_quality(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        let link = self
+            .links
+            .get_mut(&Self::link_key(a, b))
+            .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+        link.config.forward = quality;
+        link.config.reverse = quality;
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay`, bypassing links.
+    ///
+    /// The delivery is attributed to `to` itself over [`Interface::Internal`];
+    /// scenario drivers use this to issue local commands ("dial", "answer",
+    /// "power on") to nodes.
+    pub fn inject(&mut self, delay: SimDuration, to: NodeId, msg: M) {
+        self.queue.push(
+            self.now + delay,
+            EventKind::Deliver {
+                from: to,
+                to,
+                iface: Interface::Internal,
+                msg,
+            },
+        );
+    }
+
+    /// Immediately delivers pending work until the event queue drains.
+    ///
+    /// Returns how many events were processed. Stops early (with
+    /// `quiescent == false`) if the event cap is reached.
+    pub fn run_until_quiescent(&mut self) -> RunOutcome {
+        self.ensure_started();
+        let mut events = 0;
+        while events < self.max_events {
+            if !self.step_inner() {
+                return RunOutcome {
+                    events,
+                    at: self.now,
+                    quiescent: true,
+                };
+            }
+            events += 1;
+        }
+        RunOutcome {
+            events,
+            at: self.now,
+            quiescent: false,
+        }
+    }
+
+    /// Processes events up to and including `deadline`, then sets the clock
+    /// to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.ensure_started();
+        let mut events = 0;
+        while events < self.max_events {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step_inner();
+                    events += 1;
+                }
+                _ => break,
+            }
+        }
+        let quiescent = events < self.max_events;
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        RunOutcome {
+            events,
+            at: self.now,
+            quiescent,
+        }
+    }
+
+    /// Processes events for `span` of simulated time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        let deadline = self.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Processes a single event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        self.step_inner()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            self.dispatch(NodeId(idx as u32), |n, ctx| n.on_start(ctx));
+        }
+    }
+
+    fn step_inner(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        match event.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                iface,
+                msg,
+            } => {
+                self.stats.count("sim.delivered");
+                if msg.traceable() {
+                    let detail = if self.trace_details {
+                        format!("{msg:?}")
+                    } else {
+                        String::new()
+                    };
+                    self.trace
+                        .record_message(self.now, from, to, iface, msg.label(), detail);
+                }
+                self.dispatch(to, |n, ctx| n.on_message(ctx, from, iface, msg));
+            }
+            EventKind::Timer { node, token, tag } => {
+                if self.cancelled.remove(&token) {
+                    self.stats.count("sim.timer_cancelled");
+                } else {
+                    self.stats.count("sim.timer_fired");
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, token, tag));
+                }
+            }
+            EventKind::Start { node } => {
+                self.dispatch(node, |n, ctx| n.on_start(ctx));
+            }
+        }
+        true
+    }
+
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn AnyNode<M>, &mut Context<'_, M>),
+    {
+        let idx = id.0 as usize;
+        let mut node = self.nodes[idx]
+            .take()
+            .unwrap_or_else(|| panic!("node {id} is missing or re-entered"));
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            effects: Vec::new(),
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            next_timer: &mut self.next_timer,
+        };
+        f(&mut *node, &mut ctx);
+        let effects = std::mem::take(&mut ctx.effects);
+        self.nodes[idx] = Some(node);
+        self.apply_effects(id, effects);
+    }
+
+    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect<M>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let link = *self.link_between(from, to).unwrap_or_else(|| {
+                        panic!(
+                            "node {from} ({}) sent {} to {to} ({}) but no link exists",
+                            self.trace.node_name(from),
+                            msg.label(),
+                            self.trace.node_name(to),
+                        )
+                    });
+                    let quality = link.quality_from(from);
+                    match quality.sample(msg.wire_size(), msg.reliable(), &mut self.rng) {
+                        Some(delay) => {
+                            self.queue.push(
+                                self.now + delay,
+                                EventKind::Deliver {
+                                    from,
+                                    to,
+                                    iface: link.interface(),
+                                    msg,
+                                },
+                            );
+                        }
+                        None => {
+                            self.stats.count("sim.lost");
+                        }
+                    }
+                }
+                Effect::Timer { at, token, tag } => {
+                    self.queue.push(at, EventKind::Timer { node: from, token, tag });
+                }
+                Effect::CancelTimer { token } => {
+                    self.cancelled.insert(token);
+                }
+                Effect::Note { text } => {
+                    self.trace.record_note(self.now, from, text);
+                }
+            }
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pending (not yet processed) events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The message trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (e.g. [`Trace::clear`] between procedures).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable statistics access for scenario-level counters.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Immutable access to a node's concrete state.
+    ///
+    /// Returns `None` if the node's concrete type is not `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this network.
+    pub fn node<N: 'static>(&self, id: NodeId) -> Option<&N> {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("node is missing")
+            .as_any()
+            .downcast_ref::<N>()
+    }
+
+    /// Mutable access to a node's concrete state (for scenario setup only;
+    /// mutating nodes mid-run bypasses the deterministic event order).
+    pub fn node_mut<N: 'static>(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("node is missing")
+            .as_any_mut()
+            .downcast_mut::<N>()
+    }
+
+    /// The display name a node was registered with.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.trace.node_name(id)
+    }
+}
+
+impl<M: Payload> std::fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+        Tick,
+    }
+
+    impl Payload for Msg {
+        fn label(&self) -> String {
+            match self {
+                Msg::Ping(_) => "Ping".into(),
+                Msg::Pong(_) => "Pong".into(),
+                Msg::Tick => "Tick".into(),
+            }
+        }
+        // These test messages model unreliable datagrams so the loss
+        // tests exercise the drop path.
+        fn reliable(&self) -> bool {
+            false
+        }
+    }
+
+    struct Echo {
+        seen: u32,
+    }
+
+    impl Node<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, _i: Interface, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                self.seen += 1;
+                ctx.send(from, Msg::Pong(n + 1));
+            }
+        }
+    }
+
+    struct Caller {
+        peer: NodeId,
+        reply: Option<u32>,
+        reply_at: Option<SimTime>,
+    }
+
+    impl Node<Msg> for Caller {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping(10));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _f: NodeId, _i: Interface, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                self.reply = Some(n);
+                self.reply_at = Some(ctx.now());
+            }
+        }
+    }
+
+    fn ping_net() -> (Network<Msg>, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let echo = net.add_node("echo", Echo { seen: 0 });
+        let caller = net.add_node(
+            "caller",
+            Caller {
+                peer: echo,
+                reply: None,
+                reply_at: None,
+            },
+        );
+        net.connect(caller, echo, Interface::Lan, SimDuration::from_millis(4));
+        (net, echo, caller)
+    }
+
+    #[test]
+    fn round_trip_latency() {
+        let (mut net, echo, caller) = ping_net();
+        let outcome = net.run_until_quiescent();
+        assert!(outcome.quiescent);
+        assert_eq!(outcome.events, 2);
+        let c = net.node::<Caller>(caller).unwrap();
+        assert_eq!(c.reply, Some(11));
+        assert_eq!(c.reply_at, Some(SimTime::from_micros(8_000)));
+        assert_eq!(net.node::<Echo>(echo).unwrap().seen, 1);
+    }
+
+    #[test]
+    fn trace_records_labels_and_interfaces() {
+        let (mut net, _, _) = ping_net();
+        net.run_until_quiescent();
+        assert_eq!(net.trace().labels(), vec!["Ping", "Pong"]);
+        assert_eq!(net.trace().count_interface(Interface::Lan), 2);
+    }
+
+    #[test]
+    fn downcast_to_wrong_type_is_none() {
+        let (net, echo, _) = ping_net();
+        assert!(net.node::<Caller>(echo).is_none());
+    }
+
+    #[test]
+    fn inject_delivers_internal_command() {
+        struct Sink {
+            got: Vec<(Interface, Msg)>,
+        }
+        impl Node<Msg> for Sink {
+            fn on_message(
+                &mut self,
+                _c: &mut Context<'_, Msg>,
+                _f: NodeId,
+                i: Interface,
+                m: Msg,
+            ) {
+                self.got.push((i, m));
+            }
+        }
+        let mut net = Network::new(0);
+        let sink = net.add_node("sink", Sink { got: Vec::new() });
+        net.inject(SimDuration::from_millis(2), sink, Msg::Tick);
+        net.run_until_quiescent();
+        let s = net.node::<Sink>(sink).unwrap();
+        assert_eq!(s.got, vec![(Interface::Internal, Msg::Tick)]);
+        assert_eq!(net.now(), SimTime::from_micros(2_000));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl Node<Msg> for Timed {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                let t = ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.cancel_timer(t);
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, Msg>, _f: NodeId, _i: Interface, _m: Msg) {}
+            fn on_timer(&mut self, _c: &mut Context<'_, Msg>, _t: TimerToken, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut net = Network::new(0);
+        let id = net.add_node("timed", Timed { fired: Vec::new() });
+        net.run_until_quiescent();
+        assert_eq!(net.node::<Timed>(id).unwrap().fired, vec![1, 3]);
+        assert_eq!(net.stats().counter("sim.timer_cancelled"), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut net, _, _) = ping_net();
+        let out = net.run_until(SimTime::from_micros(5_000));
+        assert_eq!(out.events, 1); // only the Ping delivered by then
+        assert_eq!(net.now(), SimTime::from_micros(5_000));
+        assert_eq!(net.pending_events(), 1);
+        net.run_until_quiescent();
+        assert_eq!(net.trace().labels(), vec!["Ping", "Pong"]);
+    }
+
+    #[test]
+    fn lossy_link_counts_drops() {
+        let mut net = Network::new(3);
+        let echo = net.add_node("echo", Echo { seen: 0 });
+        let caller = net.add_node(
+            "caller",
+            Caller {
+                peer: echo,
+                reply: None,
+                reply_at: None,
+            },
+        );
+        net.connect_with(
+            caller,
+            echo,
+            LinkConfig::symmetric(
+                Interface::Lan,
+                LinkQuality::new(SimDuration::from_millis(1)).with_loss(1.0),
+            ),
+        );
+        net.run_until_quiescent();
+        assert_eq!(net.stats().counter("sim.lost"), 1);
+        assert_eq!(net.node::<Echo>(echo).unwrap().seen, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link exists")]
+    fn sending_without_link_panics() {
+        let mut net = Network::new(0);
+        let echo = net.add_node("echo", Echo { seen: 0 });
+        let _caller = net.add_node(
+            "caller",
+            Caller {
+                peer: echo,
+                reply: None,
+                reply_at: None,
+            },
+        );
+        net.run_until_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_panics() {
+        let (mut net, echo, caller) = ping_net();
+        net.connect(caller, echo, Interface::Lan, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot link a node to itself")]
+    fn self_link_panics() {
+        let mut net = Network::new(0);
+        let echo = net.add_node("echo", Echo { seen: 0 });
+        net.connect(echo, echo, Interface::Lan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut net = Network::new(seed);
+            let echo = net.add_node("echo", Echo { seen: 0 });
+            let caller = net.add_node(
+                "caller",
+                Caller {
+                    peer: echo,
+                    reply: None,
+                    reply_at: None,
+                },
+            );
+            net.connect_with(
+                caller,
+                echo,
+                LinkConfig::symmetric(
+                    Interface::Lan,
+                    LinkQuality::new(SimDuration::from_millis(2))
+                        .with_jitter(SimDuration::from_millis(3)),
+                ),
+            );
+            net.run_until_quiescent();
+            net.node::<Caller>(caller).unwrap().reply_at
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn event_cap_halts_runaway() {
+        struct Looper {
+            peer: Option<NodeId>,
+        }
+        impl Node<Msg> for Looper {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                if let Some(p) = self.peer {
+                    ctx.send(p, Msg::Tick);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, _i: Interface, _m: Msg) {
+                ctx.send(from, Msg::Tick);
+            }
+        }
+        let mut net = Network::new(0);
+        let a = net.add_node("a", Looper { peer: None });
+        let b = net.add_node("b", Looper { peer: Some(a) });
+        net.connect(a, b, Interface::Lan, SimDuration::from_millis(1));
+        net.set_max_events(100);
+        let out = net.run_until_quiescent();
+        assert!(!out.quiescent);
+        assert_eq!(out.events, 100);
+    }
+
+    #[test]
+    fn late_added_node_gets_on_start() {
+        struct Starter {
+            started: bool,
+        }
+        impl Node<Msg> for Starter {
+            fn on_start(&mut self, _c: &mut Context<'_, Msg>) {
+                self.started = true;
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, Msg>, _f: NodeId, _i: Interface, _m: Msg) {}
+        }
+        let mut net: Network<Msg> = Network::new(0);
+        net.run_until_quiescent();
+        let id = net.add_node("late", Starter { started: false });
+        assert!(!net.node::<Starter>(id).unwrap().started, "deferred");
+        net.run_until_quiescent();
+        assert!(net.node::<Starter>(id).unwrap().started);
+    }
+}

@@ -1,0 +1,119 @@
+//! Node identity and behavior traits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{Context, TimerToken};
+use crate::interface::Interface;
+
+/// Identifies a node registered in a [`Network`](crate::Network).
+///
+/// Ids are dense indices handed out by
+/// [`Network::add_node`](crate::Network::add_node); they are only meaningful
+/// within the network that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index, for use as a map key or report label.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Requirements on the message type carried by a [`Network`](crate::Network).
+///
+/// Protocol crates implement this for their PDU union. The [`label`]
+/// is what appears in traces and ladder diagrams, so implementations should
+/// return the protocol message name (e.g. `"MAP_Update_Location"`), not a
+/// full debug dump.
+///
+/// [`label`]: Payload::label
+pub trait Payload: Clone + fmt::Debug {
+    /// Short, stable message name for traces and assertions.
+    fn label(&self) -> String;
+
+    /// Approximate size on the wire in bytes, used for bandwidth
+    /// serialization delay. The default suits small signaling messages.
+    fn wire_size(&self) -> usize {
+        64
+    }
+
+    /// Whether this message should be recorded in the trace. Media payloads
+    /// (e.g. RTP frames) typically override this to `false` so signaling
+    /// ladders stay readable; statistics still count every delivery.
+    fn traceable(&self) -> bool {
+        true
+    }
+
+    /// Whether the message rides a reliable transport. Reliable messages
+    /// are exempt from link *loss* (TCP/SS7 retransmission, abstracted);
+    /// latency, jitter and bandwidth still apply. Media payloads override
+    /// this to `false` — RTP rides UDP and really is dropped.
+    fn reliable(&self) -> bool {
+        true
+    }
+}
+
+/// Behavior of a simulated network element.
+///
+/// A node reacts to delivered messages and expired timers through its
+/// [`Context`], which is the only channel for side effects (sending,
+/// scheduling, statistics). Nodes never touch the event queue directly,
+/// which keeps execution deterministic.
+pub trait Node<M: Payload> {
+    /// Invoked once when the simulation starts running (before any message
+    /// delivery). Use it to kick off initial procedures.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Invoked for every message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, iface: Interface, msg: M);
+
+    /// Invoked when a timer set through [`Context::set_timer`] expires
+    /// (unless it was cancelled). `tag` is the caller-chosen discriminator.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, token: TimerToken, tag: u64) {
+        let _ = (ctx, token, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(format!("{:?}", NodeId(4)), "n4");
+        assert_eq!(NodeId(4).index(), 4);
+    }
+
+    #[derive(Clone, Debug)]
+    struct P;
+    impl Payload for P {
+        fn label(&self) -> String {
+            "P".into()
+        }
+    }
+
+    #[test]
+    fn payload_defaults() {
+        assert_eq!(P.wire_size(), 64);
+        assert!(P.traceable());
+        assert!(P.reliable());
+    }
+}

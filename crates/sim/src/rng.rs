@@ -1,0 +1,149 @@
+//! Deterministic, seedable randomness for simulations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random-number generator owned by the [`Network`](crate::Network).
+///
+/// All stochastic behavior in a simulation (link jitter, loss, talkspurt
+/// lengths, call inter-arrival times) draws from this single stream, so a
+/// scenario seeded identically replays an identical trace.
+///
+/// # Examples
+///
+/// ```rust
+/// use vgprs_sim::SimRng;
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "SimRng::range requires lo < hi, got {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    /// `p` is clamped to `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// method). Used for Poisson call arrivals and talkspurt lengths.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn range_rejects_empty() {
+        SimRng::new(0).range(5, 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // out-of-range p is clamped rather than panicking
+        assert!(r.chance(7.5));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.2,
+            "sample mean {mean} too far from 4.0"
+        );
+    }
+}

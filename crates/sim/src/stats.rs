@@ -1,0 +1,231 @@
+//! Named counters and histograms collected during a run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing named counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+/// A streaming histogram: retains every observation (runs are bounded), and
+/// answers mean / percentile / min / max queries.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    values: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Smallest observation; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_finite()
+    }
+
+    /// Largest observation; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// The `p`-th percentile (0–100) by nearest-rank; 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// All raw observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The statistics sink shared by every node in a [`Network`](crate::Network).
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn count(&mut self, name: &str) {
+        self.count_by(name, 1);
+    }
+
+    /// Increments `name` by `value`.
+    pub fn count_by(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += value;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation under `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (k, v) in &self.counters {
+            writeln!(f, "  {k}: {v}")?;
+        }
+        writeln!(f, "histograms:")?;
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {k}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.count("a");
+        s.count("a");
+        s.count_by("a", 3);
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(50.0), 3.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_range_checked() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn display_renders_all() {
+        let mut s = Stats::new();
+        s.count("calls");
+        s.observe("setup_ms", 12.0);
+        let out = s.to_string();
+        assert!(out.contains("calls: 1"));
+        assert!(out.contains("setup_ms"));
+    }
+
+    #[test]
+    fn histogram_iteration_order_is_name_sorted() {
+        let mut s = Stats::new();
+        s.observe("z", 1.0);
+        s.observe("a", 1.0);
+        let names: Vec<&str> = s.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

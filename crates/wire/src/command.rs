@@ -1,0 +1,77 @@
+//! Scenario-driver commands.
+//!
+//! Commands are injected through
+//! [`Network::inject`](vgprs_sim::Network::inject) and arrive over
+//! [`Interface::Internal`](vgprs_sim::Interface::Internal); they model the
+//! human side of the system — pressing the power button, dialing, picking
+//! up, hanging up, walking across a cell boundary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CallId, CellId, Msisdn};
+
+/// A local stimulus delivered to a node by the scenario driver.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Switch a mobile station on; it will register (paper Section 3).
+    PowerOn,
+    /// Switch a mobile station off; it will detach.
+    PowerOff,
+    /// Dial a number (paper Section 4). The scenario assigns the call id
+    /// so statistics can be correlated end-to-end.
+    Dial {
+        /// Scenario-assigned call id.
+        call: CallId,
+        /// Number to dial.
+        called: Msisdn,
+    },
+    /// Answer the currently alerting call.
+    Answer,
+    /// Hang up the active call (paper Section 4, release flow).
+    Hangup,
+    /// Start sending voice frames on the active call (media experiments).
+    StartTalking,
+    /// Stop sending voice frames.
+    StopTalking,
+    /// Move to a different cell, triggering handoff if on a call
+    /// (paper Section 7).
+    MoveToCell {
+        /// Destination cell.
+        cell: CellId,
+    },
+}
+
+impl Command {
+    /// Trace label, e.g. `Cmd_Dial`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Command::PowerOn => "Cmd_Power_On",
+            Command::PowerOff => "Cmd_Power_Off",
+            Command::Dial { .. } => "Cmd_Dial",
+            Command::Answer => "Cmd_Answer",
+            Command::Hangup => "Cmd_Hangup",
+            Command::StartTalking => "Cmd_Start_Talking",
+            Command::StopTalking => "Cmd_Stop_Talking",
+            Command::MoveToCell { .. } => "Cmd_Move_To_Cell",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_prefixed() {
+        assert_eq!(Command::PowerOn.label(), "Cmd_Power_On");
+        assert_eq!(
+            Command::Dial {
+                call: CallId(1),
+                called: Msisdn::parse("88612345678").unwrap()
+            }
+            .label(),
+            "Cmd_Dial"
+        );
+        assert_eq!(Command::MoveToCell { cell: CellId(2) }.label(), "Cmd_Move_To_Cell");
+    }
+}

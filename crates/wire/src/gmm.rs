@@ -1,0 +1,180 @@
+//! GPRS mobility management (GMM) and session management (SM) signaling
+//! (GSM 04.08 §9.4, GSM 03.60), exchanged between an attaching endpoint
+//! (GPRS MS — or the VMSC acting as one) and the SGSN over Gb.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cause::Cause;
+use crate::ids::{Imsi, Ipv4Addr, Nsapi, Tmsi};
+use crate::qos::QosProfile;
+
+/// A GMM/SM signaling message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GmmMessage {
+    /// Endpoint requests GPRS attach (paper step 1.3).
+    AttachRequest {
+        /// Attaching subscriber.
+        imsi: Imsi,
+    },
+    /// SGSN accepts the attach and assigns a packet TMSI.
+    AttachAccept {
+        /// Attached subscriber.
+        imsi: Imsi,
+        /// Packet TMSI.
+        ptmsi: Tmsi,
+    },
+    /// SGSN rejects the attach.
+    AttachReject {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Why.
+        cause: Cause,
+    },
+    /// Endpoint detaches from GPRS.
+    DetachRequest {
+        /// Subscriber.
+        imsi: Imsi,
+    },
+    /// SGSN confirms detach.
+    DetachAccept {
+        /// Subscriber.
+        imsi: Imsi,
+    },
+    /// Endpoint activates a PDP context (paper steps 1.3, 2.9, 4.8).
+    ActivatePdpContextRequest {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Which of the subscriber's contexts.
+        nsapi: Nsapi,
+        /// Requested QoS.
+        qos: QosProfile,
+        /// `None` requests dynamic address allocation by the GGSN;
+        /// `Some` requests a static PDP address (the TR 22.973 baseline
+        /// needs this for network-initiated activation).
+        static_addr: Option<Ipv4Addr>,
+    },
+    /// SGSN confirms activation with the negotiated parameters.
+    ActivatePdpContextAccept {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Context.
+        nsapi: Nsapi,
+        /// The PDP address now bound to the context.
+        addr: Ipv4Addr,
+        /// Negotiated QoS (may be weaker than requested).
+        qos: QosProfile,
+    },
+    /// SGSN rejects activation.
+    ActivatePdpContextReject {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Context.
+        nsapi: Nsapi,
+        /// Why.
+        cause: Cause,
+    },
+    /// Network-initiated activation request (SGSN → endpoint): the GGSN
+    /// received downlink traffic for a static PDP address with no active
+    /// context (TR 22.973 termination path).
+    RequestPdpContextActivation {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Context to activate.
+        nsapi: Nsapi,
+        /// The static address traffic arrived for.
+        addr: Ipv4Addr,
+    },
+    /// Endpoint deactivates a context (paper step 3.4).
+    DeactivatePdpContextRequest {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Context.
+        nsapi: Nsapi,
+    },
+    /// SGSN confirms deactivation.
+    DeactivatePdpContextAccept {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Context.
+        nsapi: Nsapi,
+    },
+}
+
+impl GmmMessage {
+    /// Trace label, following the paper's naming ("GPRS Attach Request",
+    /// "PDP context activation") in label-safe form.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GmmMessage::AttachRequest { .. } => "GPRS_Attach_Request",
+            GmmMessage::AttachAccept { .. } => "GPRS_Attach_Accept",
+            GmmMessage::AttachReject { .. } => "GPRS_Attach_Reject",
+            GmmMessage::DetachRequest { .. } => "GPRS_Detach_Request",
+            GmmMessage::DetachAccept { .. } => "GPRS_Detach_Accept",
+            GmmMessage::ActivatePdpContextRequest { .. } => "Activate_PDP_Context_Request",
+            GmmMessage::ActivatePdpContextAccept { .. } => "Activate_PDP_Context_Accept",
+            GmmMessage::ActivatePdpContextReject { .. } => "Activate_PDP_Context_Reject",
+            GmmMessage::RequestPdpContextActivation { .. } => "Request_PDP_Context_Activation",
+            GmmMessage::DeactivatePdpContextRequest { .. } => "Deactivate_PDP_Context_Request",
+            GmmMessage::DeactivatePdpContextAccept { .. } => "Deactivate_PDP_Context_Accept",
+        }
+    }
+
+    /// The subscriber this message concerns.
+    pub fn imsi(&self) -> Imsi {
+        match self {
+            GmmMessage::AttachRequest { imsi }
+            | GmmMessage::AttachAccept { imsi, .. }
+            | GmmMessage::AttachReject { imsi, .. }
+            | GmmMessage::DetachRequest { imsi }
+            | GmmMessage::DetachAccept { imsi }
+            | GmmMessage::ActivatePdpContextRequest { imsi, .. }
+            | GmmMessage::ActivatePdpContextAccept { imsi, .. }
+            | GmmMessage::ActivatePdpContextReject { imsi, .. }
+            | GmmMessage::RequestPdpContextActivation { imsi, .. }
+            | GmmMessage::DeactivatePdpContextRequest { imsi, .. }
+            | GmmMessage::DeactivatePdpContextAccept { imsi, .. } => *imsi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imsi() -> Imsi {
+        Imsi::parse("466920123456789").unwrap()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            GmmMessage::AttachRequest { imsi: imsi() }.label(),
+            "GPRS_Attach_Request"
+        );
+        assert_eq!(
+            GmmMessage::ActivatePdpContextRequest {
+                imsi: imsi(),
+                nsapi: Nsapi::new(5).unwrap(),
+                qos: QosProfile::signaling(),
+                static_addr: None,
+            }
+            .label(),
+            "Activate_PDP_Context_Request"
+        );
+    }
+
+    #[test]
+    fn imsi_accessor_covers_variants() {
+        let msgs = [
+            GmmMessage::AttachRequest { imsi: imsi() },
+            GmmMessage::DetachAccept { imsi: imsi() },
+            GmmMessage::DeactivatePdpContextRequest {
+                imsi: imsi(),
+                nsapi: Nsapi::new(6).unwrap(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.imsi(), imsi());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! H.225.0 RAS (Registration, Admission and Status) messages exchanged
+//! between H.323 endpoints and the gatekeeper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cause::Cause;
+use crate::ids::{CallId, Imsi, Msisdn, TransportAddr};
+
+/// A RAS message. Labels use the paper's abbreviations (RRQ, RCF, ARQ,
+/// ACF, ARJ, DRQ, DCF) prefixed with `RAS_`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RasMessage {
+    /// Registration Request: endpoint announces its transport address and
+    /// alias (the MS's MSISDN in vGPRS — paper step 1.4).
+    Rrq {
+        /// Alias address being registered (MSISDN).
+        alias: Msisdn,
+        /// Call-signaling transport address for the alias.
+        transport: TransportAddr,
+        /// Non-standard extension used by the 3G TR 22.973 integration:
+        /// the subscriber's IMSI, which that architecture must reveal to
+        /// the H.323 domain (paper Section 6). Standard endpoints — and
+        /// the vGPRS VMSC — leave this empty; experiment C4 counts the
+        /// disclosures.
+        imsi: Option<Imsi>,
+    },
+    /// Registration Confirm (paper step 1.5).
+    Rcf {
+        /// The registered alias.
+        alias: Msisdn,
+    },
+    /// Registration Reject.
+    Rrj {
+        /// The alias that failed to register.
+        alias: Msisdn,
+        /// Why.
+        cause: Cause,
+    },
+    /// Unregistration Request (endpoint leaving, or roamer moved away).
+    Urq {
+        /// Alias to remove.
+        alias: Msisdn,
+    },
+    /// Unregistration Confirm.
+    Ucf {
+        /// Removed alias.
+        alias: Msisdn,
+    },
+    /// Admission Request: may this call proceed, and where do I signal?
+    /// (paper steps 2.3, 2.5, 4.1, 4.3).
+    Arq {
+        /// Call this admission concerns.
+        call: CallId,
+        /// The dialed alias (for originating ARQs).
+        called: Msisdn,
+        /// True when sent by the *answering* endpoint (steps 2.5, 4.3).
+        answering: bool,
+        /// Requested bandwidth in units of 100 bit/s (H.225 convention).
+        bandwidth: u32,
+    },
+    /// Admission Confirm carrying the destination call-signaling address.
+    Acf {
+        /// Call admitted.
+        call: CallId,
+        /// Where to send the Q.931 Setup.
+        dest_call_signal_addr: TransportAddr,
+    },
+    /// Admission Reject (paper step 2.5 notes the call is then released).
+    Arj {
+        /// Call rejected.
+        call: CallId,
+        /// Why.
+        cause: Cause,
+    },
+    /// Disengage Request: the call ended; release admission (step 3.3).
+    Drq {
+        /// Call that ended.
+        call: CallId,
+        /// Call duration in milliseconds, reported for charging records.
+        duration_ms: u64,
+    },
+    /// Disengage Confirm.
+    Dcf {
+        /// Call whose admission was released.
+        call: CallId,
+    },
+}
+
+impl RasMessage {
+    /// Trace label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RasMessage::Rrq { .. } => "RAS_RRQ",
+            RasMessage::Rcf { .. } => "RAS_RCF",
+            RasMessage::Rrj { .. } => "RAS_RRJ",
+            RasMessage::Urq { .. } => "RAS_URQ",
+            RasMessage::Ucf { .. } => "RAS_UCF",
+            RasMessage::Arq { .. } => "RAS_ARQ",
+            RasMessage::Acf { .. } => "RAS_ACF",
+            RasMessage::Arj { .. } => "RAS_ARJ",
+            RasMessage::Drq { .. } => "RAS_DRQ",
+            RasMessage::Dcf { .. } => "RAS_DCF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Ipv4Addr;
+
+    #[test]
+    fn labels_match_paper_abbreviations() {
+        let alias = Msisdn::parse("88612345678").unwrap();
+        let addr = TransportAddr::new(Ipv4Addr::from_octets(10, 0, 0, 9), 1720);
+        assert_eq!(
+            RasMessage::Rrq {
+                alias,
+                transport: addr,
+                imsi: None
+            }
+            .label(),
+            "RAS_RRQ"
+        );
+        assert_eq!(RasMessage::Rcf { alias }.label(), "RAS_RCF");
+        assert_eq!(
+            RasMessage::Arq {
+                call: CallId(1),
+                called: alias,
+                answering: false,
+                bandwidth: 640,
+            }
+            .label(),
+            "RAS_ARQ"
+        );
+        assert_eq!(
+            RasMessage::Drq {
+                call: CallId(1),
+                duration_ms: 60_000
+            }
+            .label(),
+            "RAS_DRQ"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Subscriber profile data held by the HLR and copied to VLRs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Msisdn;
+
+/// The service profile the HLR stores per subscriber and downloads to a
+/// visited VLR via `MAP_Insert_Subs_Data` (paper step 1.2: "the profile
+/// indicates, e.g., if the MS is allowed to make international calls").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubscriberProfile {
+    /// The subscriber's dialable number.
+    pub msisdn: Msisdn,
+    /// Whether outgoing international calls are permitted.
+    pub international_allowed: bool,
+    /// Whether GPRS (packet) service is provisioned.
+    pub gprs_allowed: bool,
+    /// Whether the subscriber may originate calls at all.
+    pub origination_allowed: bool,
+}
+
+impl SubscriberProfile {
+    /// A fully provisioned subscriber.
+    pub fn full(msisdn: Msisdn) -> Self {
+        SubscriberProfile {
+            msisdn,
+            international_allowed: true,
+            gprs_allowed: true,
+            origination_allowed: true,
+        }
+    }
+
+    /// A subscriber barred from international calls.
+    pub fn domestic_only(msisdn: Msisdn) -> Self {
+        SubscriberProfile {
+            international_allowed: false,
+            ..Self::full(msisdn)
+        }
+    }
+
+    /// Authorizes an outgoing call to `called`, given whether the call
+    /// leaves the home country.
+    pub fn may_call(&self, international: bool) -> bool {
+        self.origination_allowed && (!international || self.international_allowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msisdn() -> Msisdn {
+        Msisdn::parse("88612345678").unwrap()
+    }
+
+    #[test]
+    fn full_profile_allows_everything() {
+        let p = SubscriberProfile::full(msisdn());
+        assert!(p.may_call(false));
+        assert!(p.may_call(true));
+        assert!(p.gprs_allowed);
+    }
+
+    #[test]
+    fn domestic_only_blocks_international() {
+        let p = SubscriberProfile::domestic_only(msisdn());
+        assert!(p.may_call(false));
+        assert!(!p.may_call(true));
+    }
+
+    #[test]
+    fn origination_bar_blocks_all() {
+        let p = SubscriberProfile {
+            origination_allowed: false,
+            ..SubscriberProfile::full(msisdn())
+        };
+        assert!(!p.may_call(false));
+        assert!(!p.may_call(true));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based round-trip tests for every binary codec in vgprs-wire.
+
+use proptest::prelude::*;
+
+use vgprs_wire::{
+    CallId, Cause, Cic, Crv, GtpHeader, GtpMsgType, Imsi, Ipv4Addr, IsupKind, IsupMessage,
+    Msisdn, Q931Kind, Q931Message, RtpPacket, TransportAddr,
+};
+
+fn arb_msisdn() -> impl Strategy<Value = Msisdn> {
+    proptest::collection::vec(0u8..10, 5..=16).prop_map(|digits| {
+        let s: String = digits.iter().map(|d| char::from(b'0' + d)).collect();
+        Msisdn::parse(&s).expect("generated digits are valid")
+    })
+}
+
+fn arb_imsi() -> impl Strategy<Value = Imsi> {
+    proptest::collection::vec(0u8..10, 14..=15).prop_map(|digits| {
+        let s: String = digits.iter().map(|d| char::from(b'0' + d)).collect();
+        Imsi::parse(&s).expect("generated digits are valid")
+    })
+}
+
+fn arb_transport() -> impl Strategy<Value = TransportAddr> {
+    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| TransportAddr::new(Ipv4Addr(ip), port))
+}
+
+fn arb_cause() -> impl Strategy<Value = Cause> {
+    proptest::sample::select(Cause::ALL.to_vec())
+}
+
+fn arb_gtp_type() -> impl Strategy<Value = GtpMsgType> {
+    proptest::sample::select(vec![
+        GtpMsgType::EchoRequest,
+        GtpMsgType::EchoResponse,
+        GtpMsgType::CreatePdpContextRequest,
+        GtpMsgType::CreatePdpContextResponse,
+        GtpMsgType::UpdatePdpContextRequest,
+        GtpMsgType::UpdatePdpContextResponse,
+        GtpMsgType::DeletePdpContextRequest,
+        GtpMsgType::DeletePdpContextResponse,
+        GtpMsgType::PduNotificationRequest,
+        GtpMsgType::PduNotificationResponse,
+        GtpMsgType::TPdu,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn gtp_header_roundtrip(
+        msg_type in arb_gtp_type(),
+        length in any::<u16>(),
+        seq in any::<u16>(),
+        flow in any::<u16>(),
+        tid in any::<u64>(),
+    ) {
+        let h = GtpHeader { msg_type, length, seq, flow, tid };
+        let decoded = GtpHeader::decode(&h.encode()).expect("well-formed header decodes");
+        prop_assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn gtp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = GtpHeader::decode(&bytes);
+    }
+
+    #[test]
+    fn rtp_header_roundtrip(
+        ssrc in any::<u32>(),
+        seq in any::<u16>(),
+        timestamp in any::<u32>(),
+        payload_type in 0u8..128,
+        marker in any::<bool>(),
+    ) {
+        let p = RtpPacket {
+            ssrc, seq, timestamp, payload_type, marker,
+            payload_len: 33, call: CallId(0), origin_us: 0,
+        };
+        let d = RtpPacket::decode_header(&p.encode_header()).expect("decodes");
+        prop_assert_eq!(d.ssrc, ssrc);
+        prop_assert_eq!(d.seq, seq);
+        prop_assert_eq!(d.timestamp, timestamp);
+        prop_assert_eq!(d.payload_type, payload_type);
+        prop_assert_eq!(d.marker, marker);
+    }
+
+    #[test]
+    fn rtp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = RtpPacket::decode_header(&bytes);
+    }
+
+    #[test]
+    fn q931_setup_roundtrip(
+        crv in any::<u16>(),
+        call in any::<u64>(),
+        calling in proptest::option::of(arb_msisdn()),
+        called in arb_msisdn(),
+        signal in arb_transport(),
+        media in arb_transport(),
+    ) {
+        let m = Q931Message {
+            crv: Crv(crv),
+            call: CallId(call),
+            kind: Q931Kind::Setup { calling, called, signal_addr: signal, media_addr: media },
+        };
+        prop_assert_eq!(Q931Message::decode(&m.encode()).expect("decodes"), m);
+    }
+
+    #[test]
+    fn q931_other_kinds_roundtrip(
+        crv in any::<u16>(),
+        call in any::<u64>(),
+        choice in 0usize..4,
+        media in arb_transport(),
+        cause in arb_cause(),
+    ) {
+        let kind = match choice {
+            0 => Q931Kind::CallProceeding,
+            1 => Q931Kind::Alerting,
+            2 => Q931Kind::Connect { media_addr: media },
+            _ => Q931Kind::ReleaseComplete { cause },
+        };
+        let m = Q931Message { crv: Crv(crv), call: CallId(call), kind };
+        prop_assert_eq!(Q931Message::decode(&m.encode()).expect("decodes"), m);
+    }
+
+    #[test]
+    fn q931_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = Q931Message::decode(&bytes);
+    }
+
+    #[test]
+    fn isup_roundtrip(
+        cic in any::<u16>(),
+        call in any::<u64>(),
+        choice in 0usize..5,
+        called in arb_msisdn(),
+        calling in proptest::option::of(arb_msisdn()),
+        cause in arb_cause(),
+    ) {
+        let kind = match choice {
+            0 => IsupKind::Iam { called, calling },
+            1 => IsupKind::Acm,
+            2 => IsupKind::Anm,
+            3 => IsupKind::Rel { cause },
+            _ => IsupKind::Rlc,
+        };
+        let m = IsupMessage { cic: Cic(cic), call: CallId(call), kind };
+        prop_assert_eq!(IsupMessage::decode(&m.encode()).expect("decodes"), m);
+    }
+
+    #[test]
+    fn isup_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = IsupMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn msisdn_parse_display_roundtrip(m in arb_msisdn()) {
+        let s = m.to_string();
+        prop_assert_eq!(Msisdn::parse(&s).expect("reparse"), m);
+    }
+
+    #[test]
+    fn imsi_parse_display_roundtrip(i in arb_imsi()) {
+        let s = i.to_string();
+        prop_assert_eq!(Imsi::parse(&s).expect("reparse"), i);
+    }
+
+    #[test]
+    fn ipv4_parse_display_roundtrip(raw in any::<u32>()) {
+        let ip = Ipv4Addr(raw);
+        let reparsed: Ipv4Addr = ip.to_string().parse().expect("reparse");
+        prop_assert_eq!(reparsed, ip);
+    }
+
+    #[test]
+    fn cause_q850_roundtrip(c in arb_cause()) {
+        prop_assert_eq!(Cause::from_q850(c.q850_value()), Some(c));
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's Figure 9: inter-system handoff between a VMSC and a
+//! classic GSM MSC, with the VMSC as the anchor.
+//!
+//! ```text
+//! cargo run --example handoff
+//! ```
+
+use vgprs_bench::experiments::c5_handoff_cost;
+use vgprs_bench::scenarios::intersystem_handoff;
+
+fn main() {
+    println!("An MS talks through a VMSC, then walks into a cell owned by a");
+    println!("neighboring classic GSM MSC. The VMSC anchors the call; voice");
+    println!("continues over an inter-MSC trunk (paper Figure 9).\n");
+
+    let r = intersystem_handoff(42);
+    println!("handoffs completed      : {}", r.handoffs_completed);
+    println!("MS frames before move   : {}", r.frames_before);
+    println!("MS frames after move    : {}", r.frames_after);
+    println!("terminal frames after   : {}", r.term_frames_after);
+
+    let c = c5_handoff_cost(42);
+    println!("\nanchor detour cost (Section 7's coexistence price):");
+    println!("  delay before handoff  : {:.2} ms", c.delay_before_ms);
+    println!("  delay after handoff   : {:.2} ms", c.delay_after_ms);
+    println!(
+        "  added per frame       : {:.2} ms",
+        c.delay_after_ms - c.delay_before_ms
+    );
+}

@@ -1,0 +1,40 @@
+//! The paper's headline economics: Figures 7 and 8 side by side.
+//!
+//! A UK subscriber roams to Hong Kong. Someone in Hong Kong calls their
+//! UK number. Classic GSM hauls the call to the UK and back (two
+//! international trunks); vGPRS with a visited-network gatekeeper keeps
+//! it local.
+//!
+//! ```text
+//! cargo run --example roaming_tromboning
+//! ```
+
+use vgprs_bench::scenarios::{tromboning_classic, tromboning_vgprs};
+
+fn main() {
+    println!("A UK subscriber roams to Hong Kong; a Hong Kong caller dials");
+    println!("their +44 number. Who pays for international trunks?\n");
+
+    let classic = tromboning_classic(42);
+    println!("— classic GSM (paper Figure 7) —");
+    println!("  connected             : {}", classic.connected);
+    println!("  international trunks  : {}", classic.international_trunks);
+    println!("  trunk cost for 60 s   : {:.1} units", classic.trunk_cost_60s);
+
+    let vgprs = tromboning_vgprs(42, true);
+    println!("\n— vGPRS with local gatekeeper (paper Figure 8) —");
+    println!("  connected             : {}", vgprs.connected);
+    println!("  international trunks  : {}", vgprs.international_trunks);
+    println!("  local trunks          : {}", vgprs.local_trunks);
+    println!("  trunk cost for 60 s   : {:.1} units", vgprs.trunk_cost_60s);
+
+    let fallback = tromboning_vgprs(42, false);
+    println!("\n— gatekeeper miss: normal PSTN fallback —");
+    println!("  connected             : {}", fallback.connected);
+    println!("  international trunks  : {}", fallback.international_trunks);
+
+    println!(
+        "\nvGPRS makes the roamer call {:.0}x cheaper.",
+        classic.trunk_cost_60s / vgprs.trunk_cost_60s.max(0.01)
+    );
+}

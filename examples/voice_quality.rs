@@ -1,0 +1,32 @@
+//! Experiment C1: why the paper insists on the circuit-switched air
+//! interface. MOS vs. concurrent calls for vGPRS (dedicated traffic
+//! channels) against the TR 22.973 baseline (shared packet channel).
+//!
+//! ```text
+//! cargo run --release --example voice_quality
+//! ```
+
+use vgprs_bench::experiments::c1_voice_quality;
+
+fn main() {
+    println!("MOS vs. concurrent calls in one cell (GSM-FR, E-model scoring)");
+    println!("vGPRS: voice on dedicated TCHs.  TR 22.973: voice on a shared 160 kbit/s PDCH.\n");
+    println!(
+        "{:>6} | {:>12} {:>7} {:>5} | {:>12} {:>7} {:>5}",
+        "calls", "vGPRS delay", "loss", "MOS", "TR delay", "loss", "MOS"
+    );
+    for row in c1_voice_quality(&[1, 2, 3, 4, 6, 8], 42) {
+        println!(
+            "{:>6} | {:>10.1}ms {:>6.1}% {:>5.2} | {:>10.1}ms {:>6.1}% {:>5.2}",
+            row.calls,
+            row.vgprs_delay_ms,
+            row.vgprs_loss * 100.0,
+            row.vgprs_mos,
+            row.tr_delay_ms,
+            row.tr_loss * 100.0,
+            row.tr_mos
+        );
+    }
+    println!("\nThe TR baseline's MOS collapses once the PDCH saturates;");
+    println!("vGPRS stays flat — the paper's \"real-time communication\" claim.");
+}

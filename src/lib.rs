@@ -1,0 +1,17 @@
+//! # vGPRS — Voice over GPRS, reproduced
+//!
+//! Umbrella crate re-exporting the whole vGPRS reproduction workspace.
+//! See the repository README and `DESIGN.md` for the architecture, and the
+//! `examples/` directory for runnable scenarios.
+
+#![forbid(unsafe_code)]
+
+pub use vgprs_core as core;
+pub use vgprs_gprs as gprs;
+pub use vgprs_gsm as gsm;
+pub use vgprs_h323 as h323;
+pub use vgprs_media as media;
+pub use vgprs_pstn as pstn;
+pub use vgprs_sim as sim;
+pub use vgprs_tr22973 as tr22973;
+pub use vgprs_wire as wire;

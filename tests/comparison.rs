@@ -1,0 +1,96 @@
+//! The Section 6 comparison claims (C1–C5), asserted as *shapes*: who
+//! wins, in which direction, and where the crossover falls.
+
+use vgprs_bench::experiments::{
+    c1_voice_quality, c2_setup_latency, c3_context_memory, c4_signaling, c5_handoff_cost,
+};
+
+#[test]
+fn c1_vgprs_voice_survives_load_tr_does_not() {
+    let rows = c1_voice_quality(&[1, 4], 42);
+    let light = &rows[0];
+    let heavy = &rows[1];
+    // At light load both systems deliver usable voice.
+    assert!(light.vgprs_mos > 3.0, "{light:?}");
+    assert!(light.tr_mos > 3.0, "{light:?}");
+    // Under load the circuit air interface is unaffected …
+    assert!(
+        (heavy.vgprs_mos - light.vgprs_mos).abs() < 0.1,
+        "vGPRS must be load-invariant: {light:?} vs {heavy:?}"
+    );
+    // … while the shared packet channel collapses (the paper's
+    // "VoIP with required quality can not be satisfied").
+    assert!(
+        heavy.tr_mos < 2.0,
+        "TR must degrade under load: {heavy:?}"
+    );
+}
+
+#[test]
+fn c2_preactivated_context_wins_and_gap_grows_with_core_latency() {
+    let rows = c2_setup_latency(&[1, 10], 42);
+    for row in &rows {
+        assert!(
+            row.vgprs_mo_ms < row.tr_mo_ms,
+            "pre-activated context must be faster (MO): {row:?}"
+        );
+        assert!(
+            row.vgprs_mt_ms < row.tr_mt_ms,
+            "pre-activated context must be faster (MT): {row:?}"
+        );
+    }
+    let gap_1x = rows[0].tr_mo_ms - rows[0].vgprs_mo_ms;
+    let gap_10x = rows[1].tr_mo_ms - rows[1].vgprs_mo_ms;
+    assert!(
+        gap_10x > gap_1x,
+        "the per-call activation penalty grows with core latency: {gap_1x} vs {gap_10x}"
+    );
+}
+
+#[test]
+fn c3_vgprs_pays_in_resident_contexts() {
+    // The tradeoff the paper concedes: always-on signaling contexts cost
+    // SGSN/GGSN memory proportional to *registered* subscribers, while
+    // the TR's cost tracks *active* calls only.
+    let rows = c3_context_memory(&[(10, 1), (20, 2)], 42);
+    for row in &rows {
+        assert_eq!(
+            row.vgprs_contexts,
+            row.subscribers + row.active_calls,
+            "one signaling context per subscriber + one voice context per call: {row:?}"
+        );
+        assert_eq!(
+            row.tr_contexts, row.active_calls,
+            "TR contexts track active calls only: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn c4_confidentiality_and_signaling() {
+    let (rows, conf) = c4_signaling(42);
+    assert_eq!(conf.vgprs_imsi_disclosures, 0, "vGPRS leaks no IMSI");
+    assert_eq!(conf.tr_imsi_disclosures, 1, "TR leaks one IMSI per subscriber");
+    // vGPRS spends more signaling (GSM + GPRS + H.323 per procedure) —
+    // the honest cost of serving unmodified handsets.
+    for row in &rows {
+        assert!(
+            row.vgprs_messages > 0 && row.tr_messages > 0,
+            "both systems signaled: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn c5_anchor_adds_bounded_detour() {
+    let r = c5_handoff_cost(42);
+    assert_eq!(r.handoffs, 1);
+    assert!(
+        r.delay_after_ms > r.delay_before_ms,
+        "the anchor + E-trunk path is longer: {r:?}"
+    );
+    assert!(
+        r.delay_after_ms - r.delay_before_ms < 20.0,
+        "but only by roughly the inter-MSC trunk latency: {r:?}"
+    );
+}

@@ -1,0 +1,37 @@
+//! Reproduction of the paper's Figure 9: inter-system handoff with the
+//! VMSC as the anchor.
+
+use vgprs_bench::scenarios::{intersystem_handoff, intervmsc_handoff};
+
+#[test]
+fn figure9_anchor_vmsc_keeps_voice_flowing() {
+    let report = intersystem_handoff(42);
+    assert_eq!(report.handoffs_completed, 1, "{report:?}");
+    assert!(
+        report.frames_before > 100,
+        "voice flowed before the move: {report:?}"
+    );
+    assert!(
+        report.frames_after > 100,
+        "downlink voice continues through the anchor + E-trunk: {report:?}"
+    );
+    assert!(
+        report.term_frames_after > 100,
+        "uplink voice continues from the new cell: {report:?}"
+    );
+}
+
+#[test]
+fn section7_vmsc_to_vmsc_handoff_follows_the_same_procedure() {
+    let report = intervmsc_handoff(42);
+    assert_eq!(report.handoffs_completed, 1, "{report:?}");
+    assert!(report.frames_before > 100, "{report:?}");
+    assert!(
+        report.frames_after > 100,
+        "downlink continues via the target VMSC: {report:?}"
+    );
+    assert!(
+        report.term_frames_after > 100,
+        "uplink continues via anchor → H.323: {report:?}"
+    );
+}

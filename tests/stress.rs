@@ -1,0 +1,125 @@
+//! Property-based stress: random subscriber populations and call
+//! patterns must never wedge the system, and conservation invariants
+//! must hold when the dust settles.
+
+use proptest::prelude::*;
+use vgprs_core::{VgprsZone, VgprsZoneConfig, Vmsc};
+use vgprs_gsm::{MobileStation, MsState};
+use vgprs_h323::Gatekeeper;
+use vgprs_sim::{Network, SimDuration};
+use vgprs_wire::{CallId, Command, Imsi, Message, Msisdn};
+
+fn imsi(i: usize) -> Imsi {
+    Imsi::parse(&format!("4669200000{i:05}")).unwrap()
+}
+
+fn msisdn(i: usize) -> Msisdn {
+    Msisdn::parse(&format!("8869120{i:05}")).unwrap()
+}
+
+fn alias(i: usize) -> Msisdn {
+    Msisdn::parse(&format!("8862200{i:05}")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case builds and runs a full network
+        ..ProptestConfig::default()
+    })]
+
+    /// Any mix of subscribers, staggered power-ons, call targets and talk
+    /// times: when every call has been hung up, nothing is leaked.
+    #[test]
+    fn random_call_storm_conserves_state(
+        seed in 0u64..1_000,
+        subs in 2usize..8,
+        dial_stagger_ms in 1u64..800,
+        talk_secs in 1u64..8,
+    ) {
+        let mut net = Network::new(seed);
+        let mut zone = VgprsZone::build(&mut net, VgprsZoneConfig::taiwan());
+        let mut mss = Vec::new();
+        for i in 0..subs {
+            let ms = zone.add_subscriber(
+                &mut net,
+                &format!("ms{i}"),
+                imsi(i),
+                0x9000 + i as u64,
+                msisdn(i),
+            );
+            zone.add_terminal(&mut net, &format!("t{i}"), alias(i));
+            mss.push(ms);
+            net.inject(
+                SimDuration::from_millis(i as u64 * 11),
+                ms,
+                Message::Cmd(Command::PowerOn),
+            );
+        }
+        net.run_until_quiescent();
+        prop_assert_eq!(
+            net.node::<Vmsc>(zone.vmsc).unwrap().registered_count(),
+            subs
+        );
+
+        // Everyone dials a terminal (possibly with heavy overlap).
+        for (i, ms) in mss.iter().enumerate() {
+            net.inject(
+                SimDuration::from_millis(i as u64 * dial_stagger_ms),
+                *ms,
+                Message::Cmd(Command::Dial {
+                    call: CallId(500 + i as u64),
+                    called: alias(i),
+                }),
+            );
+        }
+        net.run_until(net.now() + SimDuration::from_secs(6 + talk_secs));
+        // Everyone hangs up (idle phones ignore the command).
+        for ms in &mss {
+            net.inject(SimDuration::ZERO, *ms, Message::Cmd(Command::Hangup));
+        }
+        net.run_until_quiescent();
+
+        // Conservation invariants.
+        let vmsc = net.node::<Vmsc>(zone.vmsc).unwrap();
+        prop_assert_eq!(vmsc.active_calls(), 0, "no leaked call state");
+        let gk = net.node::<Gatekeeper>(zone.gk).unwrap();
+        prop_assert_eq!(gk.bandwidth_used(), 0, "all admissions disengaged");
+        for ms in &mss {
+            let m = net.node::<MobileStation>(*ms).unwrap();
+            prop_assert_eq!(m.state(), MsState::Idle);
+        }
+        // Every voice context that was activated was also deactivated.
+        let stats = net.stats();
+        prop_assert_eq!(
+            stats.counter("vmsc.voice_context_requested"),
+            stats.counter("vmsc.voice_context_deactivated"),
+            "voice PDP contexts balanced"
+        );
+        // The signaling contexts stay (the paper's always-on design).
+        prop_assert_eq!(stats.counter("sgsn.attaches"), subs as u64);
+    }
+
+    /// Determinism: the same seed yields the same trace, event for event.
+    #[test]
+    fn same_seed_same_history(seed in 0u64..10_000) {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let mut zone = VgprsZone::build(&mut net, VgprsZoneConfig::taiwan());
+            let ms = zone.add_subscriber(&mut net, "ms", imsi(0), 0x77, msisdn(0));
+            zone.add_terminal(&mut net, "t", alias(0));
+            net.inject(SimDuration::ZERO, ms, Message::Cmd(Command::PowerOn));
+            net.run_until_quiescent();
+            net.inject(
+                SimDuration::ZERO,
+                ms,
+                Message::Cmd(Command::Dial {
+                    call: CallId(1),
+                    called: alias(0),
+                }),
+            );
+            net.run_until(net.now() + SimDuration::from_secs(6));
+            (net.trace().labels().join("|"), net.now())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,57 @@
+//! Reproduction of the paper's Figures 7 and 8: tromboning in classic
+//! GSM call delivery to a roamer, and its elimination by vGPRS with a
+//! visited-network gatekeeper.
+
+use vgprs_bench::scenarios::{tromboning_classic, tromboning_vgprs};
+
+#[test]
+fn figure7_classic_gsm_uses_two_international_trunks() {
+    let report = tromboning_classic(42);
+    assert!(report.connected, "the roamer call must connect: {report:?}");
+    assert_eq!(
+        report.international_trunks, 2,
+        "Figure 7: the call setup results in two international calls: {report:?}"
+    );
+}
+
+#[test]
+fn figure8_vgprs_call_is_local() {
+    let report = tromboning_vgprs(42, true);
+    assert!(report.connected, "the roamer call must connect: {report:?}");
+    assert_eq!(
+        report.international_trunks, 0,
+        "Figure 8: the call from y to x is a local phone call: {report:?}"
+    );
+    assert!(report.local_trunks >= 1, "{report:?}");
+}
+
+#[test]
+fn figure8_fallback_when_gatekeeper_misses() {
+    // x never registered in HK: the gateway's admission fails and the
+    // switch cranks the call back onto the normal international route
+    // ("the GK will instruct y to connect to the international telephone
+    // network as a normal PSTN call").
+    let report = tromboning_vgprs(42, false);
+    assert!(
+        !report.connected,
+        "x is nowhere to be found, so the call cannot complete: {report:?}"
+    );
+    assert!(
+        report.international_trunks >= 1,
+        "the fallback route is international: {report:?}"
+    );
+}
+
+#[test]
+fn vgprs_roaming_call_is_cheaper() {
+    let classic = tromboning_classic(7);
+    let vgprs = tromboning_vgprs(7, true);
+    assert!(classic.connected && vgprs.connected);
+    assert!(
+        vgprs.trunk_cost_60s < classic.trunk_cost_60s / 10.0,
+        "eliminating two international trunks must slash the cost: \
+         classic {:.1} vs vgprs {:.1}",
+        classic.trunk_cost_60s,
+        vgprs.trunk_cost_60s
+    );
+}
