@@ -1,12 +1,21 @@
 //! The experiment harness: regenerates every figure and Section 6 claim
-//! of the paper on stdout.
+//! of the paper on stdout, and hosts the population-scale load tools.
 //!
 //! ```text
 //! harness [fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|c1|c2|c3|c4|c5|all]
+//! harness load [--subscribers N] [--threads N] [--shards N] [--seed N]
+//!              [--window-secs N] [--rate CALLS_PER_SUB_HOUR] [--hold SECS]
+//!              [--mix MO,MT,M2M] [--mobility FRAC] [--tch N]
+//!              [--voice-sample-ms N]
+//! harness capacity [--subscribers N] [--threads N] [--seed N]
+//! harness bench
 //! ```
 //!
-//! With no argument it runs everything. The outputs recorded in
-//! `EXPERIMENTS.md` are produced by `harness all`.
+//! With no argument it runs every paper experiment (`all`). The outputs
+//! recorded in `EXPERIMENTS.md` are produced by `harness all`, the
+//! capacity table by `harness capacity`.
+
+use std::time::Instant;
 
 use vgprs_bench::experiments::{
     c1_voice_quality, c2_idle_ablation, c2_setup_latency, c3_context_memory, c4_signaling,
@@ -15,13 +24,21 @@ use vgprs_bench::experiments::{
 use vgprs_bench::scenarios::{
     intersystem_handoff, tromboning_classic, tromboning_vgprs, SingleZone,
 };
+use vgprs_load::{capacity_sweep, run_load, CallMix, LoadConfig};
 use vgprs_sim::{LadderDiagram, SimDuration};
 use vgprs_wire::{CallId, Command, Message};
 
 const SEED: u64 = 42;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args.first().map(String::as_str).unwrap_or("all");
+    match arg {
+        "load" => return load_cmd(&args[1..]),
+        "capacity" => return capacity_cmd(&args[1..]),
+        "bench" => return bench_cmd(),
+        _ => {}
+    }
     let all = arg == "all";
     let mut ran = false;
     macro_rules! run {
@@ -49,9 +66,183 @@ fn main() {
     run!("c5", c5());
     if !ran {
         eprintln!(
-            "unknown experiment {arg:?}; expected fig1..fig9, c1..c5, c2b or all"
+            "unknown experiment {arg:?}; expected fig1..fig9, c1..c5, c2b, \
+             load, capacity, bench or all"
         );
         std::process::exit(2);
+    }
+}
+
+/// Tiny flag parser: `--name value` pairs only.
+struct Flags<'a>(&'a [String]);
+
+impl Flags<'_> {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value {raw:?} for {name}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+fn load_config_from(flags: &Flags<'_>) -> LoadConfig {
+    let mut cfg = LoadConfig {
+        subscribers: flags.parse("--subscribers", 1024),
+        shards: flags.parse("--shards", 0),
+        threads: flags.parse("--threads", 0),
+        seed: flags.parse("--seed", SEED),
+        tch_capacity: flags.parse("--tch", 64),
+        voice_sample_ms: flags.parse("--voice-sample-ms", 1_000),
+        ..LoadConfig::default()
+    };
+    cfg.population.window_secs = flags.parse("--window-secs", 60);
+    cfg.population.calls_per_sub_hour = flags.parse("--rate", 4.0);
+    cfg.population.mean_hold_secs = flags.parse("--hold", 90.0);
+    cfg.population.mobility_fraction = flags.parse("--mobility", 0.05);
+    if let Some(mix) = flags.get("--mix") {
+        let parts: Vec<f64> = mix.split(',').filter_map(|p| p.parse().ok()).collect();
+        if parts.len() != 3 {
+            eprintln!("--mix expects MO,MT,M2M weights, e.g. 0.45,0.45,0.10");
+            std::process::exit(2);
+        }
+        cfg.population.mix = CallMix {
+            mo: parts[0],
+            mt: parts[1],
+            m2m: parts[2],
+        };
+    }
+    cfg
+}
+
+fn load_cmd(rest: &[String]) {
+    let cfg = load_config_from(&Flags(rest));
+    heading(&format!(
+        "Busy hour — {} subscribers, {} shards, {} threads, seed {}",
+        cfg.subscribers,
+        cfg.effective_shards(),
+        cfg.effective_threads(),
+        cfg.seed
+    ));
+    let report = run_load(&cfg);
+    print!("{}", report.render());
+    println!("fingerprint           : {:016x}", report.fingerprint());
+}
+
+fn capacity_cmd(rest: &[String]) {
+    let flags = Flags(rest);
+    let mut base = load_config_from(&flags);
+    if flags.get("--subscribers").is_none() {
+        base.subscribers = 2048;
+    }
+    heading(&format!(
+        "Capacity sweep — {} subscribers, seed {}: offered load vs. the knee",
+        base.subscribers, base.seed
+    ));
+    let factors = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let sweep = capacity_sweep(&base, &factors);
+    println!(
+        "  {:>5} | {:>9} | {:>8} | {:>8} | {:>7} | {:>9} {:>9} | {:>5}",
+        "load", "calls/s/h", "erlangs", "attempts", "block%", "setup p50", "setup p99", "MOS"
+    );
+    for p in &sweep.points {
+        let setup = p.report.setup_delay();
+        println!(
+            "  {:>4}x | {:>9.1} | {:>8.1} | {:>8} | {:>6.2}% | {:>7.1}ms {:>7.1}ms | {:>5.2}",
+            p.load_factor,
+            p.calls_per_sub_hour,
+            p.offered_erlangs,
+            p.report.attempts(),
+            p.report.blocking_rate() * 100.0,
+            setup.percentile(50.0),
+            setup.percentile(99.0),
+            p.report.mos()
+        );
+    }
+    match sweep.knee {
+        Some(i) => println!(
+            "  knee at {}x offered load ({:.1} Erlangs): setup p99 or blocking degraded",
+            sweep.points[i].load_factor, sweep.points[i].offered_erlangs
+        ),
+        None => println!("  no knee within the swept range"),
+    }
+}
+
+/// Instant-based micro-benchmarks (successor to the criterion benches,
+/// which required a crates-io dependency the workspace no longer has).
+fn bench_cmd() {
+    heading("Micro-benchmarks (median of 5 batches)");
+    bench("gtp_header_roundtrip", 100_000, || {
+        let h = std::hint::black_box(vgprs_wire::GtpHeader {
+            msg_type: vgprs_wire::GtpMsgType::TPdu,
+            length: 128,
+            seq: 7,
+            flow: 9,
+            tid: 0x0123_4567_89AB_CDEF,
+        });
+        let bytes = h.encode();
+        assert!(vgprs_wire::GtpHeader::decode(std::hint::black_box(&bytes)).is_ok());
+    });
+    bench("rtp_header_roundtrip", 100_000, || {
+        let p = std::hint::black_box(vgprs_wire::RtpPacket {
+            ssrc: 0xFEED,
+            seq: 1,
+            timestamp: 160,
+            payload_type: vgprs_wire::PAYLOAD_TYPE_GSM,
+            marker: true,
+            payload_len: 33,
+            call: CallId(1),
+            origin_us: 0,
+        });
+        let bytes = p.encode_header();
+        assert!(vgprs_wire::RtpPacket::decode_header(std::hint::black_box(&bytes)).is_ok());
+    });
+    bench("vgprs_full_registration", 20, || {
+        let s = SingleZone::build(SEED);
+        assert!(s.net.now() > vgprs_sim::SimTime::ZERO);
+    });
+    bench("vgprs_call_and_release", 20, || {
+        let mut s = SingleZone::build(SEED);
+        s.call_from_ms(CallId(1), SimDuration::from_secs(1));
+        s.hangup_from_ms();
+    });
+    bench("busy_hour_shard_64_subs", 3, || {
+        let report = run_load(&LoadConfig {
+            subscribers: 64,
+            shards: 1,
+            threads: 1,
+            ..LoadConfig::default()
+        });
+        assert!(report.events > 0);
+    });
+}
+
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut batches: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    batches.sort_by(f64::total_cmp);
+    let median = batches[2];
+    if median >= 1e-3 {
+        println!("  {name:<28} {:>10.3} ms/iter", median * 1e3);
+    } else {
+        println!("  {name:<28} {:>10.0} ns/iter", median * 1e9);
     }
 }
 

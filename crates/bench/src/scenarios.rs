@@ -571,10 +571,10 @@ pub fn intersystem_handoff_windowed(seed: u64) -> crate::experiments::C5Report {
     }
 }
 
-fn histogram_sum(net: &Network<Message>, name: &str) -> (usize, f64) {
+fn histogram_sum(net: &Network<Message>, name: &str) -> (u64, f64) {
     net.stats()
         .histogram(name)
-        .map(|h| (h.count(), h.values().iter().sum::<f64>()))
+        .map(|h| (h.count(), h.sum()))
         .unwrap_or((0, 0.0))
 }
 

@@ -149,7 +149,7 @@ pub struct VgprsZone {
     /// Latencies (reused when adding elements later).
     pub latency: LatencyProfile,
     name: String,
-    next_host: u8,
+    next_host: u16,
 }
 
 impl VgprsZone {
@@ -321,10 +321,7 @@ impl VgprsZone {
         alias: Msisdn,
     ) -> NodeId {
         self.next_host += 1;
-        let addr = TransportAddr::new(
-            Ipv4Addr::from_octets(10, 1, 0, self.next_host),
-            1720,
-        );
+        let addr = TransportAddr::new(self.lan_host_addr(), 1720);
         let term = net.add_node(
             &format!("{}.{}", self.name, label),
             H323Terminal::new(TerminalConfig::new(alias, addr, self.gk_addr), self.router),
@@ -334,6 +331,12 @@ impl VgprsZone {
             .expect("zone router")
             .add_host(addr.ip, term);
         term
+    }
+
+    /// Next LAN host address, spread over 10.1.x.y so a zone can host
+    /// tens of thousands of endpoints (population-scale load runs).
+    fn lan_host_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from_octets(10, 1, (self.next_host >> 8) as u8, self.next_host as u8)
     }
 
     /// Adds an H.323/PSTN gateway on the zone's LAN, trunked into
@@ -346,10 +349,7 @@ impl VgprsZone {
         preferred_prefix: &str,
     ) -> NodeId {
         self.next_host += 1;
-        let addr = TransportAddr::new(
-            Ipv4Addr::from_octets(10, 1, 0, self.next_host),
-            1720,
-        );
+        let addr = TransportAddr::new(self.lan_host_addr(), 1720);
         let gw = net.add_node(
             &format!("{}.gw", self.name),
             PstnGateway::new(

@@ -117,6 +117,10 @@ struct VmscCall {
     calling: Option<Msisdn>,
     started_at: SimTime,
     connected_at: Option<SimTime>,
+    /// MT: when paging went out (for the paging-latency KPI).
+    paged_at: Option<SimTime>,
+    /// When the voice PDP context was requested (for the activation KPI).
+    voice_pdp_requested_at: Option<SimTime>,
     rtp_seq: u16,
     /// Inter-MSC leg after handoff (anchor side), or toward the anchor
     /// (target side).
@@ -508,7 +512,17 @@ impl Vmsc {
                     return;
                 };
                 entry.conn = Some(conn);
+                let mt_call = entry.call;
                 self.by_conn.insert(conn, imsi);
+                // Paging-latency KPI: page broadcast → MS answer.
+                if let Some(state) = mt_call.and_then(|c| self.calls.get_mut(&c)) {
+                    if let Some(paged_at) = state.paged_at.take() {
+                        ctx.observe_duration(
+                            "vmsc.paging_response_ms",
+                            ctx.now().duration_since(paged_at),
+                        );
+                    }
+                }
                 // Step 4.5: auth + ciphering via the VLR.
                 ctx.send(
                     self.vlr,
@@ -550,6 +564,8 @@ impl Vmsc {
                         calling: None,
                         started_at: ctx.now(),
                         connected_at: None,
+                        paged_at: None,
+                        voice_pdp_requested_at: None,
                         rtp_seq: 0,
                         e_leg: None,
                         target_role: false,
@@ -712,6 +728,8 @@ impl Vmsc {
                         calling: None,
                         started_at: ctx.now(),
                         connected_at: Some(ctx.now()),
+                        paged_at: None,
+                        voice_pdp_requested_at: None,
                         rtp_seq: 0,
                         e_leg: Some((pending.anchor, pending.cic)),
                         target_role: true,
@@ -762,6 +780,7 @@ impl Vmsc {
         };
         state.phase = CallPhase::Active;
         state.connected_at = Some(ctx.now());
+        state.voice_pdp_requested_at = Some(ctx.now());
         let (imsi, started_at) = (state.imsi, state.started_at);
         ctx.observe_duration("vmsc.call_setup_ms", ctx.now().duration_since(started_at));
         ctx.note("Step 2.9/4.8: activate voice PDP context; conversation begins");
@@ -1052,9 +1071,21 @@ impl Vmsc {
                     }
                 } else {
                     // Voice context (step 2.9 / 4.8).
-                    if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                    let call = if let Some(entry) = self.ms_table.get_mut(&imsi) {
                         entry.voice_addr = Some(addr);
                         self.by_addr.insert(addr, imsi);
+                        entry.call
+                    } else {
+                        None
+                    };
+                    // Voice-PDP activation-time KPI: request → accept.
+                    if let Some(state) = call.and_then(|c| self.calls.get_mut(&c)) {
+                        if let Some(requested_at) = state.voice_pdp_requested_at.take() {
+                            ctx.observe_duration(
+                                "vmsc.voice_pdp_activation_ms",
+                                ctx.now().duration_since(requested_at),
+                            );
+                        }
                     }
                     ctx.count("vmsc.voice_context_active");
                 }
@@ -1168,6 +1199,7 @@ impl Vmsc {
                         // answers (stale registration, coverage hole).
                         if let Some(state) = self.calls.get_mut(&call) {
                             state.phase = CallPhase::MtPaging;
+                            state.paged_at = Some(ctx.now());
                         }
                         ctx.set_timer(PAGING_TIMEOUT, TAG_PAGING | call.0);
                         ctx.note("Step 4.4: page the MS");
@@ -1257,6 +1289,8 @@ impl Vmsc {
                         calling,
                         started_at: ctx.now(),
                         connected_at: None,
+                        paged_at: None,
+                        voice_pdp_requested_at: None,
                         rtp_seq: 0,
                         e_leg: None,
                         target_role: false,

@@ -456,6 +456,7 @@ impl Node<Message> for MobileStation {
                 if self.talking && self.state == MsState::Active => {
                     if let Some(call) = self.call {
                         self.voice_seq += 1;
+                        ctx.count("ms.voice_frames_sent");
                         let origin_us = ctx.now().as_micros();
                         self.send_um(
                             ctx,

@@ -457,6 +457,7 @@ impl Node<Message> for H323Terminal {
                             call,
                             origin_us: now_us,
                         };
+                        ctx.count("term.rtp_sent");
                         self.send_ip(ctx, media, IpPayload::Rtp(rtp));
                         self.start_voice(ctx);
                     }

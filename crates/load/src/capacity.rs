@@ -1,0 +1,70 @@
+//! Offered-load sweep: find the knee where the deployment degrades.
+//!
+//! The sweep holds the world fixed (population, shards, radio capacity)
+//! and scales the per-subscriber call-attempt rate. The *knee* is the
+//! first load point whose p99 call-setup delay exceeds a multiple of
+//! the lightest point's p99, or whose blocking crosses an absolute
+//! floor — the same definition capacity planners use for Erlang tables.
+
+use crate::engine::{run_load, LoadConfig};
+use crate::report::LoadReport;
+
+/// One measured point of the sweep.
+#[derive(Clone, Debug)]
+pub struct CapacityPoint {
+    /// Offered load multiplier applied to the base attempt rate.
+    pub load_factor: f64,
+    /// Calls per subscriber-hour actually offered.
+    pub calls_per_sub_hour: f64,
+    /// Offered traffic intensity in Erlangs (attempt rate x mean hold).
+    pub offered_erlangs: f64,
+    /// The full report for this point.
+    pub report: LoadReport,
+}
+
+/// Result of [`capacity_sweep`].
+#[derive(Clone, Debug)]
+pub struct CapacitySweep {
+    /// Every measured point, in increasing load order.
+    pub points: Vec<CapacityPoint>,
+    /// Index into `points` of the first degraded point, if any point
+    /// degraded within the swept range.
+    pub knee: Option<usize>,
+}
+
+/// Setup-delay degradation threshold: p99 beyond this multiple of the
+/// lightest point's p99 marks the knee.
+const KNEE_P99_FACTOR: f64 = 2.0;
+/// Blocking floor that marks the knee regardless of latency.
+const KNEE_BLOCKING: f64 = 0.01;
+
+/// Runs `base` at each load multiplier and locates the knee.
+pub fn capacity_sweep(base: &LoadConfig, load_factors: &[f64]) -> CapacitySweep {
+    let mut points = Vec::with_capacity(load_factors.len());
+    for &factor in load_factors {
+        let mut cfg = base.clone();
+        cfg.population.calls_per_sub_hour = base.population.calls_per_sub_hour * factor;
+        let report = run_load(&cfg);
+        points.push(CapacityPoint {
+            load_factor: factor,
+            calls_per_sub_hour: cfg.population.calls_per_sub_hour,
+            offered_erlangs: cfg.population.calls_per_sub_hour / 3600.0
+                * cfg.population.mean_hold_secs
+                * cfg.subscribers as f64,
+            report,
+        });
+    }
+    let knee = find_knee(&points);
+    CapacitySweep { points, knee }
+}
+
+fn find_knee(points: &[CapacityPoint]) -> Option<usize> {
+    let base_p99 = points
+        .iter()
+        .map(|p| p.report.setup_delay().percentile(99.0))
+        .find(|&p99| p99 > 0.0)?;
+    points.iter().position(|p| {
+        let p99 = p.report.setup_delay().percentile(99.0);
+        p99 > base_p99 * KNEE_P99_FACTOR || p.report.blocking_rate() > KNEE_BLOCKING
+    })
+}

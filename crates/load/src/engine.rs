@@ -1,0 +1,194 @@
+//! The sharded parallel driver.
+//!
+//! The population is partitioned into a fixed number of shards — a pure
+//! function of the configuration, never of the machine — and a pool of
+//! worker threads pulls shards off a shared counter. Each shard is a
+//! fully independent [`vgprs_sim::Network`], so no locks are held while
+//! simulating; the only synchronization is the work counter and the
+//! slot each shard's report is written to. Reports are merged in shard
+//! order, which makes the KPI output bit-identical for any `--threads`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::population::{subscriber_plan, PopulationConfig, SubscriberPlan};
+use crate::report::LoadReport;
+use crate::shard::{run_shard, ShardConfig, ShardReport};
+
+/// Target shard size when the caller lets the engine pick: small enough
+/// that one cell's 64 traffic channels see realistic contention, large
+/// enough that per-shard fixed cost (two serving areas) amortizes.
+const DEFAULT_SHARD_SUBSCRIBERS: usize = 256;
+
+/// A complete load-run configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Total population size.
+    pub subscribers: usize,
+    /// Shard count; `0` derives one shard per ~256 subscribers.
+    /// Changing this changes the simulated world (it is part of the
+    /// experiment); changing `threads` never does.
+    pub shards: usize,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+    /// Master seed; every random stream in the run derives from it.
+    pub seed: u64,
+    /// Population behavior (rates, holds, mix, mobility).
+    pub population: PopulationConfig,
+    /// Traffic channels per cell.
+    pub tch_capacity: usize,
+    /// Shared PDCH capacity per cell, bits/second.
+    pub pdch_bps: u64,
+    /// Gatekeeper admission budget per serving area.
+    pub gk_bandwidth: u32,
+    /// How long each call's voice is actually sampled; see
+    /// [`ShardConfig::voice_sample_ms`].
+    pub voice_sample_ms: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            subscribers: 1024,
+            shards: 0,
+            threads: 0,
+            seed: 42,
+            population: PopulationConfig::default(),
+            tch_capacity: 64,
+            pdch_bps: 1_600_000,
+            gk_bandwidth: 100_000_000,
+            voice_sample_ms: 1_000,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The shard count this configuration resolves to.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards.min(self.subscribers.max(1))
+        } else {
+            self.subscribers.div_ceil(DEFAULT_SHARD_SUBSCRIBERS).max(1)
+        }
+    }
+
+    /// The worker-thread count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        let t = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        t.min(self.effective_shards()).max(1)
+    }
+}
+
+/// Partitions `subscribers` into `shards` near-equal contiguous slices
+/// and returns each shard's `(base_index, size)`.
+pub fn partition(subscribers: usize, shards: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(shards);
+    let base_size = subscribers / shards;
+    let remainder = subscribers % shards;
+    let mut base = 0;
+    for s in 0..shards {
+        let size = base_size + usize::from(s < remainder);
+        out.push((base, size));
+        base += size;
+    }
+    out
+}
+
+/// Runs the configured busy hour and returns the merged report.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let shards = cfg.effective_shards();
+    let threads = cfg.effective_threads();
+    let shard_cfgs: Vec<ShardConfig> = partition(cfg.subscribers, shards)
+        .into_iter()
+        .enumerate()
+        .map(|(index, (base, size))| ShardConfig {
+            shard_index: index,
+            base_index: base,
+            subscribers: size,
+            master_seed: cfg.seed,
+            population: cfg.population.clone(),
+            tch_capacity: cfg.tch_capacity,
+            pdch_bps: cfg.pdch_bps,
+            gk_bandwidth: cfg.gk_bandwidth,
+            voice_sample_ms: cfg.voice_sample_ms,
+        })
+        .collect();
+
+    let started = Instant::now();
+    let results: Mutex<Vec<Option<ShardReport>>> = Mutex::new(vec![None; shards]);
+    let next = AtomicUsize::new(0);
+    let worker = |_t: usize| loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some(shard_cfg) = shard_cfgs.get(index) else {
+            break;
+        };
+        let plans: Vec<SubscriberPlan> = (0..shard_cfg.subscribers)
+            .map(|i| subscriber_plan(&cfg.population, cfg.seed, shard_cfg.base_index + i))
+            .collect();
+        let report = run_shard(shard_cfg, &plans);
+        results.lock().expect("no panics while holding the lock")[index] = Some(report);
+    };
+    if threads == 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let worker = &worker;
+                scope.spawn(move || worker(t));
+            }
+        });
+    }
+    let wall = started.elapsed();
+
+    let reports: Vec<ShardReport> = results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|r| r.expect("every shard ran"))
+        .collect();
+    LoadReport::merge(cfg.subscribers, threads, &reports, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        for (subs, shards) in [(10, 3), (7, 7), (100, 8), (5, 1)] {
+            let parts = partition(subs, shards);
+            assert_eq!(parts.len(), shards);
+            let mut expected_base = 0;
+            for (base, size) in &parts {
+                assert_eq!(*base, expected_base);
+                expected_base += size;
+            }
+            assert_eq!(expected_base, subs);
+            let sizes: Vec<usize> = parts.iter().map(|p| p.1).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "near-equal slices: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_machine_independent() {
+        let cfg = LoadConfig {
+            subscribers: 10_000,
+            ..LoadConfig::default()
+        };
+        assert_eq!(cfg.effective_shards(), 40);
+        let pinned = LoadConfig {
+            shards: 3,
+            ..cfg.clone()
+        };
+        assert_eq!(pinned.effective_shards(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! # vgprs-load — population-scale busy-hour traffic for the vGPRS testbed
+//!
+//! This crate answers the capacity questions the paper's testbed was too
+//! small to ask: *how many subscribers can one VMSC deployment carry
+//! before call-setup latency, blocking or voice quality degrade?*
+//!
+//! It is built from three pieces:
+//!
+//! - [`population`] — a statistical subscriber model: per-subscriber
+//!   Poisson call arrivals, exponential holding times, a configurable
+//!   MO/MT/mobile-to-mobile mix and idle-mode mobility excursions.
+//!   Every subscriber's behavior derives from the master seed and the
+//!   subscriber's global index alone, so it is invariant under
+//!   re-partitioning.
+//! - [`shard`] + [`engine`] — the population is split across independent
+//!   vGPRS serving-area pairs (built with `vgprs_core::VgprsZone`), one
+//!   `vgprs_sim::Network` per shard, executed by a thread pool. Shard
+//!   seeds derive from the master seed, and shard results merge in shard
+//!   order, so a run is **bit-identical regardless of thread count**.
+//! - [`report`] — streaming KPIs merged from the shards' O(buckets)
+//!   histograms: call-setup delay, paging latency, voice-PDP activation
+//!   time, blocking/reject rates, RTP frame delay/loss scored through
+//!   the ITU-T G.107 E-model, and events/second.
+//!
+//! ```no_run
+//! use vgprs_load::{run_load, LoadConfig};
+//!
+//! let report = run_load(&LoadConfig {
+//!     subscribers: 100_000,
+//!     threads: 8,
+//!     ..LoadConfig::default()
+//! });
+//! print!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod engine;
+pub mod population;
+pub mod report;
+pub mod shard;
+
+pub use capacity::{capacity_sweep, CapacityPoint, CapacitySweep};
+pub use engine::{partition, run_load, LoadConfig};
+pub use population::{
+    subscriber_plan, Arrival, CallKind, CallMix, Excursion, PopulationConfig, SubscriberPlan,
+};
+pub use report::LoadReport;
+pub use shard::{run_shard, ShardConfig, ShardReport};

@@ -1,0 +1,259 @@
+//! The synthetic subscriber population.
+//!
+//! Every subscriber owns two independent random streams — one for call
+//! arrivals, one for mobility — derived from the master seed and the
+//! subscriber's *global* index. Because the streams never depend on how
+//! the population is partitioned, a subscriber's behavior is identical
+//! whether the run uses 1 shard or 400, which is what makes sharded
+//! results reproducible and comparable across machine sizes.
+
+use vgprs_sim::SimRng;
+
+/// Stream-class salts for [`SimRng::derive`]; distinct odd constants so
+/// the call and mobility streams of one subscriber never collide.
+const STREAM_CALLS: u64 = 0x9E37_79B9_7F4A_7C15;
+const STREAM_MOBILITY: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// What a call attempt looks like from the traffic generator's side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// The mobile dials its paired wireline H.323 terminal.
+    MoToTerminal,
+    /// The paired terminal dials the mobile (exercises paging).
+    MtFromTerminal,
+    /// The mobile dials another mobile in the same serving area.
+    MsToMs,
+}
+
+/// Relative weights of the three call kinds; normalized on use.
+#[derive(Clone, Copy, Debug)]
+pub struct CallMix {
+    /// Mobile-originated calls to wireline terminals.
+    pub mo: f64,
+    /// Mobile-terminated calls from wireline terminals.
+    pub mt: f64,
+    /// Mobile-to-mobile calls within the serving area.
+    pub m2m: f64,
+}
+
+impl Default for CallMix {
+    fn default() -> Self {
+        CallMix {
+            mo: 0.45,
+            mt: 0.45,
+            m2m: 0.10,
+        }
+    }
+}
+
+impl CallMix {
+    /// Maps a uniform draw in `[0, 1)` to a call kind.
+    pub fn pick(&self, u: f64) -> CallKind {
+        let total = (self.mo + self.mt + self.m2m).max(f64::MIN_POSITIVE);
+        let x = u * total;
+        if x < self.mo {
+            CallKind::MoToTerminal
+        } else if x < self.mo + self.mt {
+            CallKind::MtFromTerminal
+        } else {
+            CallKind::MsToMs
+        }
+    }
+}
+
+/// Statistical description of the population's busy-hour behavior.
+#[derive(Clone, Debug)]
+pub struct PopulationConfig {
+    /// Poisson call-attempt rate per subscriber, in calls per hour.
+    pub calls_per_sub_hour: f64,
+    /// Mean call holding time (exponential), seconds.
+    pub mean_hold_secs: f64,
+    /// Holding-time floor so connected calls outlive ringing and answer.
+    pub min_hold_secs: f64,
+    /// Observation window, seconds of simulated time.
+    pub window_secs: u64,
+    /// Relative mix of MO / MT / mobile-to-mobile attempts.
+    pub mix: CallMix,
+    /// Fraction of subscribers that make one idle-mode excursion to the
+    /// neighboring location area during the window.
+    pub mobility_fraction: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            calls_per_sub_hour: 4.0,
+            mean_hold_secs: 90.0,
+            min_hold_secs: 8.0,
+            window_secs: 60,
+            mix: CallMix::default(),
+            mobility_fraction: 0.05,
+        }
+    }
+}
+
+/// One scheduled call attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    /// Offset into the window, in milliseconds.
+    pub at_ms: u64,
+    /// Who calls whom.
+    pub kind: CallKind,
+    /// How long the originator holds the call before hanging up.
+    pub hold_ms: u64,
+    /// Raw draw used to select the peer of an [`CallKind::MsToMs`]
+    /// call; the shard maps it onto a local subscriber index.
+    pub peer_draw: u64,
+}
+
+/// One round trip to the neighboring location area and back.
+#[derive(Clone, Copy, Debug)]
+pub struct Excursion {
+    /// When the subscriber re-camps on the neighbor cell, ms.
+    pub out_ms: u64,
+    /// When it returns to the home cell, ms.
+    pub back_ms: u64,
+}
+
+/// Everything one subscriber will do during the window.
+#[derive(Clone, Debug)]
+pub struct SubscriberPlan {
+    /// Position in the whole population (not the shard).
+    pub global_index: usize,
+    /// Call attempts, in time order.
+    pub arrivals: Vec<Arrival>,
+    /// Optional trip to the neighbor location area.
+    pub excursion: Option<Excursion>,
+}
+
+/// Generates the plan for one subscriber.
+///
+/// Depends only on `(cfg, master_seed, global_index)` — never on shard
+/// topology — so re-partitioning the population cannot change anyone's
+/// behavior.
+pub fn subscriber_plan(
+    cfg: &PopulationConfig,
+    master_seed: u64,
+    global_index: usize,
+) -> SubscriberPlan {
+    let g = global_index as u64;
+    let mut calls = SimRng::derive(master_seed, STREAM_CALLS.wrapping_add(g));
+    let window = cfg.window_secs as f64;
+
+    let mut arrivals = Vec::new();
+    if cfg.calls_per_sub_hour > 0.0 {
+        let mean_gap = 3600.0 / cfg.calls_per_sub_hour;
+        let extra_hold = (cfg.mean_hold_secs - cfg.min_hold_secs).max(0.1);
+        let mut t = calls.exponential(mean_gap);
+        while t < window {
+            let kind = cfg.mix.pick(calls.uniform());
+            let hold = cfg.min_hold_secs + calls.exponential(extra_hold);
+            arrivals.push(Arrival {
+                at_ms: (t * 1000.0) as u64,
+                kind,
+                hold_ms: (hold * 1000.0) as u64,
+                peer_draw: calls.next_u64(),
+            });
+            t += calls.exponential(mean_gap);
+        }
+    }
+
+    let mut mobility = SimRng::derive(master_seed, STREAM_MOBILITY.wrapping_add(g));
+    let excursion = if mobility.chance(cfg.mobility_fraction) {
+        let out = mobility.uniform() * window * 0.7;
+        let stay = 5.0 + mobility.exponential(window * 0.1);
+        Some(Excursion {
+            out_ms: (out * 1000.0) as u64,
+            back_ms: ((out + stay) * 1000.0) as u64,
+        })
+    } else {
+        None
+    };
+
+    SubscriberPlan {
+        global_index,
+        arrivals,
+        excursion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_reproducible() {
+        let cfg = PopulationConfig::default();
+        for g in [0usize, 7, 999] {
+            let a = subscriber_plan(&cfg, 42, g);
+            let b = subscriber_plan(&cfg, 42, g);
+            assert_eq!(a.arrivals.len(), b.arrivals.len());
+            for (x, y) in a.arrivals.iter().zip(&b.arrivals) {
+                assert_eq!(x.at_ms, y.at_ms);
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.hold_ms, y.hold_ms);
+                assert_eq!(x.peer_draw, y.peer_draw);
+            }
+        }
+    }
+
+    #[test]
+    fn different_subscribers_differ() {
+        let cfg = PopulationConfig {
+            calls_per_sub_hour: 60.0,
+            window_secs: 3600,
+            ..PopulationConfig::default()
+        };
+        let a = subscriber_plan(&cfg, 42, 0);
+        let b = subscriber_plan(&cfg, 42, 1);
+        let ta: Vec<u64> = a.arrivals.iter().map(|x| x.at_ms).collect();
+        let tb: Vec<u64> = b.arrivals.iter().map(|x| x.at_ms).collect();
+        assert_ne!(ta, tb, "independent streams should not coincide");
+    }
+
+    #[test]
+    fn arrival_rate_is_roughly_poisson() {
+        let cfg = PopulationConfig {
+            calls_per_sub_hour: 6.0,
+            window_secs: 3600,
+            mobility_fraction: 0.0,
+            ..PopulationConfig::default()
+        };
+        let total: usize = (0..200)
+            .map(|g| subscriber_plan(&cfg, 7, g).arrivals.len())
+            .sum();
+        // 200 subscribers * 6 calls/hour over one hour = 1200 expected.
+        assert!((900..1500).contains(&total), "got {total} arrivals");
+    }
+
+    #[test]
+    fn holds_respect_the_floor() {
+        let cfg = PopulationConfig {
+            calls_per_sub_hour: 30.0,
+            window_secs: 600,
+            ..PopulationConfig::default()
+        };
+        for g in 0..20 {
+            for a in subscriber_plan(&cfg, 3, g).arrivals {
+                assert!(a.hold_ms >= (cfg.min_hold_secs * 1000.0) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_extremes() {
+        let all_mo = CallMix {
+            mo: 1.0,
+            mt: 0.0,
+            m2m: 0.0,
+        };
+        assert_eq!(all_mo.pick(0.0), CallKind::MoToTerminal);
+        assert_eq!(all_mo.pick(0.999), CallKind::MoToTerminal);
+        let all_m2m = CallMix {
+            mo: 0.0,
+            mt: 0.0,
+            m2m: 1.0,
+        };
+        assert_eq!(all_m2m.pick(0.5), CallKind::MsToMs);
+    }
+}

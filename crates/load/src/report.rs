@@ -1,0 +1,284 @@
+//! The merged, deterministic view of a load run.
+//!
+//! Shard reports are merged **in shard-index order**, so the combined
+//! counters, histograms and the fingerprint derived from them are
+//! independent of which thread finished first. Wall-clock figures
+//! (events/second) are carried separately and explicitly excluded from
+//! the fingerprint.
+
+use std::time::Duration;
+
+use vgprs_media::{EModel, Vocoder};
+use vgprs_sim::{Histogram, Stats};
+
+use crate::shard::ShardReport;
+
+/// Jitter-buffer playout depth added to the measured network delay when
+/// scoring MOS (same constant the C1 experiment uses).
+const PLAYOUT_MS: f64 = 60.0;
+/// Codec packetization interval.
+const FRAME_MS: f64 = 20.0;
+
+/// Everything a load run produces.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Population size across all shards.
+    pub subscribers: usize,
+    /// How many independent serving-area pairs were simulated.
+    pub shards: usize,
+    /// Worker threads used (does not affect any KPI).
+    pub threads: usize,
+    /// Merged counters and histograms from every shard.
+    pub stats: Stats,
+    /// Total simulation events processed.
+    pub events: u64,
+    /// Simulated seconds covered by the longest shard.
+    pub sim_secs: f64,
+    /// Wall-clock duration of the parallel run (not deterministic).
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Merges per-shard evidence; `reports` must be in shard order.
+    pub fn merge(
+        subscribers: usize,
+        threads: usize,
+        reports: &[ShardReport],
+        wall: Duration,
+    ) -> LoadReport {
+        let mut stats = Stats::new();
+        let mut events = 0;
+        let mut sim_secs = 0f64;
+        for r in reports {
+            stats.merge(&r.stats);
+            events += r.events;
+            sim_secs = sim_secs.max(r.sim_end.as_secs_f64());
+        }
+        LoadReport {
+            subscribers,
+            shards: reports.len(),
+            threads,
+            stats,
+            events,
+            sim_secs,
+            wall,
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.stats.counter(name)
+    }
+
+    /// Call attempts the generator issued.
+    pub fn attempts(&self) -> u64 {
+        self.counter("load.attempts") - self.counter("load.busy_skipped")
+    }
+
+    /// Merged end-to-end call-setup delay seen by the originators
+    /// (mobile post-dial delay plus the wireline terminals' for MT).
+    pub fn setup_delay(&self) -> Histogram {
+        self.merged_histogram(&["ms.post_dial_delay_ms", "term.post_dial_delay_ms"])
+    }
+
+    /// Paging latency at the VMSC (page sent to page response).
+    pub fn paging_delay(&self) -> Histogram {
+        self.merged_histogram(&["vmsc.paging_response_ms"])
+    }
+
+    /// Voice PDP context activation time at the VMSC.
+    pub fn pdp_activation(&self) -> Histogram {
+        self.merged_histogram(&["vmsc.voice_pdp_activation_ms"])
+    }
+
+    /// One-way voice frame delay at both listener types.
+    pub fn voice_delay(&self) -> Histogram {
+        self.merged_histogram(&["ms.voice_e2e_ms", "term.voice_e2e_ms"])
+    }
+
+    fn merged_histogram(&self, names: &[&str]) -> Histogram {
+        let mut out = Histogram::new();
+        for n in names {
+            if let Some(h) = self.stats.histogram(n) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Fraction of attempts refused a traffic channel at the cell.
+    pub fn blocking_rate(&self) -> f64 {
+        ratio(self.counter("bsc.tch_blocked"), self.attempts())
+    }
+
+    /// Fraction of attempts the H.323 side refused (gatekeeper
+    /// bandwidth, unknown alias while roaming, VMSC admission).
+    pub fn reject_rate(&self) -> f64 {
+        let rejected = self.counter("gk.admission_rejected_bandwidth")
+            + self.counter("gk.admission_rejected_unknown_alias")
+            + self.counter("vmsc.admission_rejected");
+        ratio(rejected, self.attempts())
+    }
+
+    /// Voice frame loss across both directions.
+    pub fn frame_loss(&self) -> f64 {
+        let sent = self.counter("ms.voice_frames_sent") + self.counter("term.rtp_sent");
+        let received =
+            self.counter("ms.voice_frames_received") + self.counter("term.rtp_received");
+        if sent == 0 {
+            0.0
+        } else {
+            1.0 - (received as f64 / sent as f64).min(1.0)
+        }
+    }
+
+    /// Mean opinion score from the E-model (GSM full-rate codec),
+    /// scored at the measured mean one-way delay plus packetization and
+    /// playout, and the measured frame loss.
+    pub fn mos(&self) -> f64 {
+        let delay = self.voice_delay();
+        if delay.count() == 0 {
+            return 0.0;
+        }
+        let one_way_ms = delay.mean() + FRAME_MS + PLAYOUT_MS;
+        EModel::for_codec(&Vocoder::gsm_full_rate()).mos(
+            vgprs_sim::SimDuration::from_micros((one_way_ms * 1000.0) as u64),
+            self.frame_loss(),
+        )
+    }
+
+    /// Events per wall-clock second (not part of the fingerprint).
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// The deterministic portion of the report: everything except
+    /// wall-clock timing. Two runs with the same configuration and
+    /// master seed must render identical text here regardless of
+    /// thread count.
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!(
+            "population            : {} subscribers in {} shards",
+            self.subscribers, self.shards
+        ));
+        line(format!(
+            "registered            : {}",
+            self.counter("load.registered")
+        ));
+        line(format!(
+            "call attempts         : {} (+{} suppressed: caller busy)",
+            self.attempts(),
+            self.counter("load.busy_skipped")
+        ));
+        line(format!(
+            "connected             : {} mobile legs, {} wireline legs",
+            self.counter("ms.calls_connected"),
+            self.counter("term.calls_connected")
+        ));
+        line(format!(
+            "blocking rate         : {:.3}% (TCH), reject rate {:.3}% (H.323)",
+            self.blocking_rate() * 100.0,
+            self.reject_rate() * 100.0
+        ));
+        let setup = self.setup_delay();
+        line(format!(
+            "call-setup delay      : p50 {:.1} ms, p99 {:.1} ms (n={})",
+            setup.percentile(50.0),
+            setup.percentile(99.0),
+            setup.count()
+        ));
+        let paging = self.paging_delay();
+        line(format!(
+            "paging latency        : p50 {:.1} ms, p99 {:.1} ms (n={})",
+            paging.percentile(50.0),
+            paging.percentile(99.0),
+            paging.count()
+        ));
+        let pdp = self.pdp_activation();
+        line(format!(
+            "voice-PDP activation  : p50 {:.1} ms, p99 {:.1} ms (n={})",
+            pdp.percentile(50.0),
+            pdp.percentile(99.0),
+            pdp.count()
+        ));
+        let voice = self.voice_delay();
+        line(format!(
+            "voice one-way delay   : mean {:.1} ms, p99 {:.1} ms (n={})",
+            voice.mean(),
+            voice.percentile(99.0),
+            voice.count()
+        ));
+        line(format!(
+            "voice frame loss      : {:.3}%",
+            self.frame_loss() * 100.0
+        ));
+        line(format!("mean MOS              : {:.2}", self.mos()));
+        line(format!(
+            "mobility              : {} reselections, {} in-call handoffs",
+            self.counter("load.moves"),
+            self.counter("ms.handoffs")
+        ));
+        line(format!(
+            "events                : {} over {:.1} simulated s",
+            self.events, self.sim_secs
+        ));
+        out
+    }
+
+    /// Full human-readable report, including wall-clock throughput.
+    pub fn render(&self) -> String {
+        format!(
+            "{}throughput            : {:.0} events/s on {} threads ({:.2} s wall)\n",
+            self.render_deterministic(),
+            self.events_per_sec(),
+            self.threads,
+            self.wall.as_secs_f64()
+        )
+    }
+
+    /// FNV-1a over the deterministic rendering plus every merged
+    /// counter and histogram bucket — the value two runs must share to
+    /// be considered identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.render_deterministic().as_bytes());
+        // Counters and histograms iterate in sorted (BTreeMap) order.
+        for (name, value) in self.stats.counters() {
+            eat(name.as_bytes());
+            eat(&value.to_le_bytes());
+        }
+        for (name, hist) in self.stats.histograms() {
+            eat(name.as_bytes());
+            eat(&hist.count().to_le_bytes());
+            eat(&hist.sum().to_bits().to_le_bytes());
+            for (midpoint, count) in hist.nonzero_buckets() {
+                eat(&midpoint.to_bits().to_le_bytes());
+                eat(&count.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}

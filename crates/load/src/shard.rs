@@ -1,0 +1,342 @@
+//! One shard: an independent pair of vGPRS serving areas and the
+//! population slice that lives there.
+//!
+//! A shard owns its own [`Network`], seeded from the master seed and the
+//! shard index, so shards can run on any thread in any order and still
+//! produce byte-identical statistics. The driver replays each
+//! subscriber's [`SubscriberPlan`] against the simulated network: call
+//! attempts become `Dial` commands, holds become scheduled `Hangup`s,
+//! and mobility excursions become idle-mode cell reselections (or
+//! in-call handoffs, if an excursion lands mid-call).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vgprs_core::{VgprsZone, VgprsZoneConfig, Vmsc};
+use vgprs_gsm::{Bts, MobileStation, Vlr};
+use vgprs_sim::{Interface, Network, NodeId, SimDuration, SimRng, SimTime, Stats};
+use vgprs_wire::{CallId, CellId, Command, Imsi, Ipv4Addr, Lai, Message, Msisdn, TransportAddr};
+
+use crate::population::{Arrival, CallKind, PopulationConfig, SubscriberPlan};
+
+/// Stream-class salt for per-shard network seeds.
+const STREAM_SHARD: u64 = 0x1656_67B1_9E37_79F9;
+
+/// Answer delay plus setup slack: voice is up by this long after a
+/// dial that connects (both endpoint types auto-answer after 2 s).
+const CONNECT_GRACE_MS: u64 = 3_000;
+
+/// Everything a shard needs to build and drive its world.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Which shard this is (also selects its network seed).
+    pub shard_index: usize,
+    /// Global index of the shard's first subscriber.
+    pub base_index: usize,
+    /// How many subscribers live in this shard.
+    pub subscribers: usize,
+    /// The run's master seed.
+    pub master_seed: u64,
+    /// Shared population behavior.
+    pub population: PopulationConfig,
+    /// Traffic channels per cell.
+    pub tch_capacity: usize,
+    /// Shared PDCH capacity, bits/second.
+    pub pdch_bps: u64,
+    /// Gatekeeper admission budget.
+    pub gk_bandwidth: u32,
+    /// How long each connected call actually sends voice frames before
+    /// the driver mutes both ends (keeps the event count O(calls), not
+    /// O(calls x holding time), while still sampling RTP quality).
+    pub voice_sample_ms: u64,
+}
+
+/// What one shard hands back for merging.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Which shard produced this.
+    pub shard_index: usize,
+    /// Subscribers registered through the home VMSC after power-on.
+    pub registered: usize,
+    /// Simulation events the shard processed.
+    pub events: u64,
+    /// Simulated time when the shard drained.
+    pub sim_end: SimTime,
+    /// The shard network's counters and histograms, plus the driver's
+    /// own `load.*` counters.
+    pub stats: Stats,
+}
+
+/// Driver-scheduled actions, totally ordered by `(time, sequence)`.
+enum Action {
+    Attempt { local: usize, arrival: Arrival },
+    Hangup { node: NodeId },
+    Mute { a: NodeId, b: NodeId },
+    Move { local: usize, cell: CellId },
+}
+
+struct Sched {
+    at_us: u64,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Sched {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl Eq for Sched {}
+impl PartialOrd for Sched {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sched {
+    /// Reversed so the `BinaryHeap` pops the earliest action first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+    }
+}
+
+struct Subscriber {
+    ms: NodeId,
+    terminal: NodeId,
+    msisdn: Msisdn,
+    alias: Msisdn,
+    /// Driver-side busy window: suppress attempts that land inside an
+    /// earlier call (the generator models a handset, not a trunk).
+    busy_until_us: u64,
+}
+
+/// Deterministic identity helpers shared with the rest of the crate.
+pub fn imsi_for(global: usize) -> Imsi {
+    Imsi::parse(&format!("466920{global:09}")).expect("generated IMSI is valid")
+}
+
+/// The subscriber's own E.164 number.
+pub fn msisdn_for(global: usize) -> Msisdn {
+    Msisdn::parse(&format!("88691{global:07}")).expect("generated MSISDN is valid")
+}
+
+/// The alias of the subscriber's paired wireline terminal.
+pub fn alias_for(global: usize) -> Msisdn {
+    Msisdn::parse(&format!("88622{global:07}")).expect("generated alias is valid")
+}
+
+/// Builds the shard's world, replays its population slice and returns
+/// the merged evidence.
+pub fn run_shard(cfg: &ShardConfig, plans: &[SubscriberPlan]) -> ShardReport {
+    assert_eq!(plans.len(), cfg.subscribers, "one plan per subscriber");
+    let seed = SimRng::derive(cfg.master_seed, STREAM_SHARD.wrapping_add(cfg.shard_index as u64))
+        .next_u64();
+    let mut net = Network::new(seed);
+    net.set_trace_details(false);
+    let mut events: u64 = 0;
+
+    // Home serving area plus a neighbor for mobility. Shards are
+    // separate networks, so every shard can reuse the same addressing.
+    let mut home = VgprsZone::build(
+        &mut net,
+        VgprsZoneConfig {
+            name: format!("s{}", cfg.shard_index),
+            tch_capacity: cfg.tch_capacity,
+            pdch_bps: cfg.pdch_bps,
+            gk_bandwidth: cfg.gk_bandwidth,
+            ..VgprsZoneConfig::taiwan()
+        },
+    );
+    let neighbor = VgprsZone::build(
+        &mut net,
+        VgprsZoneConfig {
+            name: format!("s{}n", cfg.shard_index),
+            lai: Lai::new(466, 92, 2),
+            cell: CellId(2),
+            msrn_prefix: "8869991".into(),
+            pool: (Ipv4Addr::from_octets(10, 201, 0, 0), 16),
+            gk_addr: TransportAddr::new(Ipv4Addr::from_octets(10, 2, 0, 2), 1719),
+            tch_capacity: cfg.tch_capacity,
+            pdch_bps: cfg.pdch_bps,
+            gk_bandwidth: cfg.gk_bandwidth,
+            ..VgprsZoneConfig::taiwan()
+        },
+    );
+    // One operator, one HLR: the neighbor VLR resolves home IMSIs at
+    // the home HLR, and the VMSCs are handoff peers in both directions.
+    net.connect(
+        neighbor.vlr,
+        home.hlr,
+        Interface::D,
+        home.latency.ss7,
+    );
+    net.node_mut::<Vlr>(neighbor.vlr)
+        .expect("neighbor VLR")
+        .add_hlr_route("466", home.hlr);
+    net.connect(home.vmsc, neighbor.vmsc, Interface::E, home.latency.e);
+    net.node_mut::<Vmsc>(home.vmsc)
+        .expect("home VMSC")
+        .add_neighbor_cell(neighbor.cell, neighbor.vmsc);
+    net.node_mut::<Vmsc>(neighbor.vmsc)
+        .expect("neighbor VMSC")
+        .add_neighbor_cell(home.cell, home.vmsc);
+
+    let mut subs = Vec::with_capacity(cfg.subscribers);
+    for (local, plan) in plans.iter().enumerate() {
+        let g = plan.global_index;
+        let msisdn = msisdn_for(g);
+        let alias = alias_for(g);
+        let ms = home.add_subscriber(
+            &mut net,
+            &format!("ms{g}"),
+            imsi_for(g),
+            0x5000 + g as u64,
+            msisdn,
+        );
+        let terminal = home.add_terminal(&mut net, &format!("t{g}"), alias);
+        if plan.excursion.is_some() {
+            // Movers can also camp on (and hand off to) the neighbor.
+            net.connect(ms, neighbor.bts, Interface::Um, home.latency.um);
+            net.node_mut::<Bts>(neighbor.bts)
+                .expect("neighbor BTS")
+                .register_ms(ms);
+            let m = net.node_mut::<MobileStation>(ms).expect("new MS");
+            m.add_neighbor(neighbor.cell, neighbor.bts);
+            m.add_neighbor(home.cell, home.bts);
+        }
+        net.inject(
+            SimDuration::from_millis(local as u64 * 7),
+            ms,
+            Message::Cmd(Command::PowerOn),
+        );
+        subs.push(Subscriber {
+            ms,
+            terminal,
+            msisdn,
+            alias,
+            busy_until_us: 0,
+        });
+    }
+
+    let outcome = net.run_until_quiescent();
+    events += outcome.events;
+    let registered = net
+        .node::<Vmsc>(home.vmsc)
+        .expect("home VMSC")
+        .registered_count();
+
+    // The busy-hour window starts once registration has settled.
+    let t0_us = net.now().as_micros();
+    let mut heap = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<Sched>, seq: &mut u64, at_ms: u64, action: Action| {
+        heap.push(Sched {
+            at_us: at_ms * 1000,
+            seq: *seq,
+            action,
+        });
+        *seq += 1;
+    };
+    for (local, plan) in plans.iter().enumerate() {
+        for &arrival in &plan.arrivals {
+            push(&mut heap, &mut seq, arrival.at_ms, Action::Attempt { local, arrival });
+        }
+        if let Some(e) = plan.excursion {
+            push(&mut heap, &mut seq, e.out_ms, Action::Move { local, cell: neighbor.cell });
+            push(&mut heap, &mut seq, e.back_ms, Action::Move { local, cell: home.cell });
+        }
+    }
+
+    let mut next_call: u64 = 1;
+    while let Some(Sched { at_us, action, .. }) = heap.pop() {
+        let outcome = net.run_until(SimTime::from_micros(t0_us + at_us));
+        events += outcome.events;
+        match action {
+            Action::Attempt { local, arrival } => {
+                net.stats_mut().count("load.attempts");
+                if at_us < subs[local].busy_until_us {
+                    net.stats_mut().count("load.busy_skipped");
+                    continue;
+                }
+                let (orig, called, peer) = match arrival.kind {
+                    CallKind::MoToTerminal => {
+                        (subs[local].ms, subs[local].alias, subs[local].terminal)
+                    }
+                    CallKind::MtFromTerminal => {
+                        (subs[local].terminal, subs[local].msisdn, subs[local].ms)
+                    }
+                    CallKind::MsToMs => {
+                        if cfg.subscribers < 2 {
+                            net.stats_mut().count("load.no_peer_available");
+                            continue;
+                        }
+                        let mut p = (arrival.peer_draw % (cfg.subscribers as u64 - 1)) as usize;
+                        if p >= local {
+                            p += 1;
+                        }
+                        if at_us < subs[p].busy_until_us {
+                            net.stats_mut().count("load.busy_skipped");
+                            continue;
+                        }
+                        subs[p].busy_until_us = at_us + arrival.hold_ms * 1000;
+                        (subs[local].ms, subs[p].msisdn, subs[p].ms)
+                    }
+                };
+                subs[local].busy_until_us = at_us + arrival.hold_ms * 1000;
+                let call = CallId((cfg.base_index as u64) << 32 | next_call);
+                next_call += 1;
+                net.inject(
+                    SimDuration::ZERO,
+                    orig,
+                    Message::Cmd(Command::Dial { call, called }),
+                );
+                let at_ms = at_us / 1000;
+                let mute_ms = CONNECT_GRACE_MS + cfg.voice_sample_ms;
+                if mute_ms < arrival.hold_ms {
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        at_ms + mute_ms,
+                        Action::Mute { a: orig, b: peer },
+                    );
+                }
+                push(
+                    &mut heap,
+                    &mut seq,
+                    at_ms + arrival.hold_ms,
+                    Action::Hangup { node: orig },
+                );
+            }
+            Action::Hangup { node } => {
+                net.inject(SimDuration::ZERO, node, Message::Cmd(Command::Hangup));
+            }
+            Action::Mute { a, b } => {
+                net.inject(SimDuration::ZERO, a, Message::Cmd(Command::StopTalking));
+                net.inject(SimDuration::ZERO, b, Message::Cmd(Command::StopTalking));
+            }
+            Action::Move { local, cell } => {
+                net.stats_mut().count("load.moves");
+                net.inject(
+                    SimDuration::ZERO,
+                    subs[local].ms,
+                    Message::Cmd(Command::MoveToCell { cell }),
+                );
+            }
+        }
+    }
+
+    let outcome = net.run_until_quiescent();
+    events += outcome.events;
+    if !outcome.quiescent {
+        net.stats_mut().count("load.drain_capped");
+    }
+    net.stats_mut()
+        .count_by("load.registered", registered as u64);
+
+    ShardReport {
+        shard_index: cfg.shard_index,
+        registered,
+        events,
+        sim_end: net.now(),
+        stats: net.stats().clone(),
+    }
+}

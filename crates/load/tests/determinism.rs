@@ -1,0 +1,123 @@
+//! The load engine's central promise: results are a function of the
+//! configuration and the master seed, never of the machine.
+
+use vgprs_load::{
+    partition, run_load, subscriber_plan, CallMix, LoadConfig, PopulationConfig,
+};
+
+fn small_cfg(threads: usize) -> LoadConfig {
+    LoadConfig {
+        subscribers: 96,
+        shards: 4,
+        threads,
+        seed: 0xD15EA5E,
+        population: PopulationConfig {
+            calls_per_sub_hour: 40.0,
+            mean_hold_secs: 20.0,
+            window_secs: 90,
+            mix: CallMix {
+                mo: 0.4,
+                mt: 0.4,
+                m2m: 0.2,
+            },
+            mobility_fraction: 0.15,
+            ..PopulationConfig::default()
+        },
+        ..LoadConfig::default()
+    }
+}
+
+/// Same master seed, 1 vs 2 vs 8 worker threads: the merged KPI report
+/// and its fingerprint are bit-identical.
+#[test]
+fn thread_count_does_not_change_results() {
+    let base = run_load(&small_cfg(1));
+    for threads in [2, 8] {
+        let other = run_load(&small_cfg(threads));
+        assert_eq!(
+            base.render_deterministic(),
+            other.render_deterministic(),
+            "KPI text diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            base.fingerprint(),
+            other.fingerprint(),
+            "fingerprint diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+/// Same configuration twice: identical down to the fingerprint.
+#[test]
+fn reruns_are_identical() {
+    let a = run_load(&small_cfg(2));
+    let b = run_load(&small_cfg(2));
+    assert_eq!(a.render_deterministic(), b.render_deterministic());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+/// A different master seed must actually change something.
+#[test]
+fn seed_changes_results() {
+    let a = run_load(&small_cfg(2));
+    let mut cfg = small_cfg(2);
+    cfg.seed ^= 1;
+    let b = run_load(&cfg);
+    assert_ne!(a.fingerprint(), b.fingerprint(), "seed had no effect");
+}
+
+/// A subscriber's arrival stream depends on its global index only:
+/// partitioning the same population into 2 or 4 shards hands every
+/// subscriber exactly the same plan.
+#[test]
+fn shard_count_does_not_change_subscriber_plans() {
+    let pop = PopulationConfig {
+        calls_per_sub_hour: 25.0,
+        window_secs: 300,
+        mobility_fraction: 0.3,
+        ..PopulationConfig::default()
+    };
+    let seed = 99;
+    let subscribers = 64;
+    let collect = |shards: usize| {
+        let mut plans = Vec::new();
+        for (base, size) in partition(subscribers, shards) {
+            for i in 0..size {
+                plans.push(subscriber_plan(&pop, seed, base + i));
+            }
+        }
+        plans
+    };
+    let two = collect(2);
+    let four = collect(4);
+    assert_eq!(two.len(), four.len());
+    for (a, b) in two.iter().zip(&four) {
+        assert_eq!(a.global_index, b.global_index);
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        for (x, y) in a.arrivals.iter().zip(&b.arrivals) {
+            assert_eq!((x.at_ms, x.kind, x.hold_ms, x.peer_draw),
+                       (y.at_ms, y.kind, y.hold_ms, y.peer_draw));
+        }
+        assert_eq!(
+            a.excursion.map(|e| (e.out_ms, e.back_ms)),
+            b.excursion.map(|e| (e.out_ms, e.back_ms)),
+        );
+    }
+}
+
+/// The busy hour must exercise every KPI the report advertises.
+#[test]
+fn kpis_are_populated() {
+    let r = run_load(&small_cfg(2));
+    assert_eq!(r.stats.counter("load.registered"), 96);
+    assert!(r.attempts() > 0, "no call attempts generated");
+    assert!(r.stats.counter("ms.calls_connected") > 0, "no calls connected");
+    assert!(r.setup_delay().count() > 0, "no setup-delay samples");
+    assert!(r.paging_delay().count() > 0, "no paging samples (MT mix is 40%)");
+    assert!(r.pdp_activation().count() > 0, "no voice-PDP samples");
+    assert!(r.voice_delay().count() > 0, "no RTP samples");
+    let mos = r.mos();
+    assert!((1.0..=4.6).contains(&mos), "implausible MOS {mos}");
+    assert!(r.stats.counter("load.moves") > 0, "mobility never fired");
+    assert!(r.events > 0 && r.sim_secs > 0.0);
+}

@@ -5,12 +5,11 @@
 //! burns two international trunks; vGPRS with a visited-network
 //! gatekeeper burns none. Every switch records each trunk seizure here.
 
-use serde::{Deserialize, Serialize};
 use vgprs_sim::{SimDuration, SimTime};
 use vgprs_wire::CallId;
 
 /// The tariff class of a trunk group.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrunkClass {
     /// Within one metropolitan network.
     Local,
@@ -50,7 +49,7 @@ impl TrunkClass {
 }
 
 /// One trunk occupancy interval.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrunkUse {
     /// The call occupying the trunk.
     pub call: CallId,

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::node::NodeId;
 use crate::rng::SimRng;
@@ -10,7 +9,7 @@ use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
 
 /// Handle identifying a pending timer, returned by [`Context::set_timer`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerToken(pub(crate) u64);
 
 impl fmt::Debug for TimerToken {

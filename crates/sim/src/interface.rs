@@ -9,10 +9,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The reference point a [`Link`](crate::Link) models.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[non_exhaustive]
 pub enum Interface {
     /// MS ↔ BTS radio interface (GSM 04.08).

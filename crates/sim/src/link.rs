@@ -1,6 +1,5 @@
 //! Point-to-point links with latency, jitter, loss and bandwidth.
 
-use serde::{Deserialize, Serialize};
 
 use crate::interface::Interface;
 use crate::node::NodeId;
@@ -19,7 +18,7 @@ use crate::time::SimDuration;
 ///     .with_bandwidth_bps(2_048_000);
 /// assert_eq!(q.latency, SimDuration::from_millis(10));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkQuality {
     /// Fixed one-way propagation + processing delay.
     pub latency: SimDuration,
@@ -98,7 +97,7 @@ impl Default for LinkQuality {
 }
 
 /// Configuration handed to [`Network::connect_with`](crate::Network::connect_with).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkConfig {
     /// Reference point this link models.
     pub interface: Interface,

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::context::{Context, TimerToken};
 use crate::interface::Interface;
@@ -12,7 +11,7 @@ use crate::interface::Interface;
 /// Ids are dense indices handed out by
 /// [`Network::add_node`](crate::Network::add_node); they are only meaningful
 /// within the network that produced them.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {

@@ -1,4 +1,12 @@
 //! Named counters and histograms collected during a run.
+//!
+//! [`Histogram`] is a *streaming* fixed-bucket histogram: memory stays
+//! O(buckets) no matter how many observations arrive, so population-scale
+//! load runs (millions of calls) can record every sample. Buckets are
+//! log-spaced (16 sub-buckets per power of two), giving ~3% relative
+//! resolution on percentile queries; `count`, `sum`, `mean`, `min` and
+//! `max` are exact. Two histograms bucket identically, so shard-local
+//! histograms merge into a global one without losing resolution.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -7,11 +15,73 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter(pub u64);
 
-/// A streaming histogram: retains every observation (runs are bounded), and
-/// answers mean / percentile / min / max queries.
-#[derive(Clone, Debug, Default)]
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Smallest resolvable magnitude: values in `(0, 2^MIN_EXP)` share the
+/// underflow bucket.
+const MIN_EXP: i32 = -10;
+/// Largest resolvable octave: values `>= 2^(MAX_EXP + 1)` share the
+/// overflow bucket.
+const MAX_EXP: i32 = 20;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+/// Bucket 0 holds zero/negative/underflow; the last bucket holds overflow.
+const NUM_BUCKETS: usize = OCTAVES * SUB + 2;
+
+/// A streaming histogram with a fixed number of log-spaced buckets.
+///
+/// `observe` is O(1) and allocation-free after construction; `count`,
+/// `sum`, `mean`, `min` and `max` are exact, while `percentile` is
+/// approximate to the bucket resolution (~3%) but always clamped into
+/// the observed `[min, max]` range — so a histogram holding a single
+/// repeated value reports that exact value at every percentile.
+#[derive(Clone)]
 pub struct Histogram {
-    values: Vec<f64>,
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    // NaN, zero, negatives and positive underflow all land in bucket 0.
+    if value.is_nan() || value < (2.0f64).powi(MIN_EXP) {
+        return 0;
+    }
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7FF) as i32 - 1023;
+    if exp > MAX_EXP {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUB + sub
+}
+
+/// Midpoint of a regular bucket's value range.
+fn bucket_midpoint(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    if index == NUM_BUCKETS - 1 {
+        return (2.0f64).powi(MAX_EXP + 1);
+    }
+    let i = index - 1;
+    let exp = MIN_EXP + (i / SUB) as i32;
+    let sub = (i % SUB) as f64;
+    (2.0f64).powi(exp) * (1.0 + (sub + 0.5) / SUB as f64)
 }
 
 impl Histogram {
@@ -22,73 +92,112 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&mut self, value: f64) {
-        self.values.push(value);
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
     }
 
     /// Number of observations.
-    pub fn count(&self) -> usize {
-        self.values.len()
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Arithmetic mean; 0.0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
+            self.sum / self.count as f64
         }
     }
 
-    /// Smallest observation; 0.0 when empty.
-    pub fn min(&self) -> f64 {
-        self.values
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
-            .pipe_finite()
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation; 0.0 when empty.
-    pub fn max(&self) -> f64 {
-        self.values
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
-            .pipe_finite()
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 
-    /// The `p`-th percentile (0–100) by nearest-rank; 0.0 when empty.
+    /// The `p`-th percentile (0–100) by nearest rank over the buckets.
+    ///
+    /// Accurate to the bucket resolution (~3% relative), exact at the
+    /// extremes (`p == 0` → min, `p == 100` → max), and always within
+    /// the observed `[min, max]`. Returns the 0.0 sentinel when the
+    /// histogram is empty (tested; use [`Histogram::count`] to
+    /// distinguish an empty histogram from one that observed zeros).
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        if self.values.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
-        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-        sorted[rank]
-    }
-
-    /// All raw observations in insertion order.
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-}
-
-trait PipeFinite {
-    fn pipe_finite(self) -> f64;
-}
-impl PipeFinite for f64 {
-    fn pipe_finite(self) -> f64 {
-        if self.is_finite() {
-            self
-        } else {
-            0.0
+        if p == 0.0 {
+            return self.min;
         }
+        if p == 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_midpoint(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one. Bucketing is identical for
+    /// all histograms, so merging loses no resolution; shard-local
+    /// histograms combine into a global view this way.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Occupied buckets as `(range_midpoint, count)` pairs, in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_midpoint(i), n))
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
     }
 }
 
@@ -142,6 +251,16 @@ impl Stats {
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Folds another sink into this one (counters add; histograms merge).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
 }
 
 impl fmt::Display for Stats {
@@ -159,7 +278,7 @@ impl fmt::Display for Stats {
                 h.mean(),
                 h.percentile(50.0),
                 h.percentile(95.0),
-                h.max()
+                h.max().unwrap_or(0.0)
             )?;
         }
         Ok(())
@@ -188,26 +307,158 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         assert!((h.mean() - 3.0).abs() < 1e-12);
-        assert_eq!(h.min(), 1.0);
-        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(5.0));
         assert_eq!(h.percentile(0.0), 1.0);
-        assert_eq!(h.percentile(50.0), 3.0);
+        // Percentiles are bucket-resolution approximations (~3%).
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 3.0).abs() / 3.0 < 0.05, "p50 = {p50}");
         assert_eq!(h.percentile(100.0), 5.0);
     }
 
     #[test]
-    fn empty_histogram_is_zeroes() {
+    fn memory_is_bounded_by_buckets() {
+        // A million observations cost no more memory than ten: the
+        // histogram is a fixed array, never a Vec of samples.
+        let mut h = Histogram::new();
+        for i in 0..1_000_000u64 {
+            h.observe((i % 977) as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert_eq!(std::mem::size_of_val(&*h.buckets), NUM_BUCKETS * 8);
+        let p99 = h.percentile(99.0);
+        assert!((900.0..=977.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_is_none_and_sentinel() {
         let h = Histogram::new();
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.min(), 0.0);
-        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        // Documented sentinel: empty percentile is 0.0.
         assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.percentile(0.0), 0.0);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        h.observe(7.3);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 7.3, "p{p}");
+        }
+        assert_eq!(h.min(), Some(7.3));
+        assert_eq!(h.max(), Some(7.3));
+    }
+
+    #[test]
+    fn tied_values_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(42.0);
+        }
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 42.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn negative_and_zero_observations_are_exact_at_extremes() {
+        let mut h = Histogram::new();
+        h.observe(-5.0);
+        h.observe(0.0);
+        h.observe(10.0);
+        assert_eq!(h.min(), Some(-5.0));
+        assert_eq!(h.max(), Some(10.0));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(0.0), -5.0);
+        assert_eq!(h.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_resolution_within_buckets() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.observe(i as f64 / 10.0); // 0.1 .. 1000.0
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let exact = p * 10.0; // true percentile of the uniform ramp
+            let approx = h.percentile(p);
+            assert!(
+                (approx - exact).abs() / exact < 0.05,
+                "p{p}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_magnitudes_land_in_clamp_buckets() {
+        let mut h = Histogram::new();
+        h.observe(1e-9); // underflow bucket
+        h.observe(1e12); // overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.0), 1e-9);
+        assert_eq!(h.percentile(100.0), 1e12);
     }
 
     #[test]
     #[should_panic(expected = "percentile out of range")]
     fn percentile_range_checked() {
         Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..1000 {
+            let v = (i as f64).mul_add(0.37, 1.0);
+            whole.observe(v);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for p in [5.0, 50.0, 95.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_preserves_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.observe(3.0);
+        a.merge(&b);
+        assert_eq!(a.min(), Some(3.0));
+        assert_eq!(a.max(), Some(3.0));
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters_and_histograms() {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        a.count("x");
+        b.count_by("x", 4);
+        b.count("only_b");
+        a.observe("h", 1.0);
+        b.observe("h", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4.0);
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// An instant on the simulated clock, measured in microseconds since the
 /// start of the simulation.
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(20);
 /// assert_eq!(t.as_micros(), 20_000);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -113,9 +112,7 @@ impl fmt::Display for SimTime {
 /// let d = SimDuration::from_millis(5) * 3;
 /// assert_eq!(d.as_micros(), 15_000);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, )]
 pub struct SimDuration(u64);
 
 impl SimDuration {

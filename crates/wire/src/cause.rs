@@ -2,13 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Why a call, registration or context operation ended or failed.
 ///
 /// A single cause space is shared by Q.931, ISUP, MAP and the GPRS session
 /// management messages; each codec maps it to its own wire value.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Cause {
     /// Normal call clearing (Q.850 cause 16).
     NormalClearing,

@@ -6,12 +6,11 @@
 //! human side of the system — pressing the power button, dialing, picking
 //! up, hanging up, walking across a cell boundary.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{CallId, CellId, Msisdn};
 
 /// A local stimulus delivered to a node by the scenario driver.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// Switch a mobile station on; it will register (paper Section 3).
     PowerOn,

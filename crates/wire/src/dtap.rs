@@ -6,13 +6,12 @@
 //! [`crate::message`] wraps it per interface so trace labels carry the
 //! paper's `Um_` / `Abis_` / `A_` prefixes.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{CallId, CellId, Lai, MsIdentity, Msisdn, Tmsi};
 
 /// GSM 04.08 direct-transfer signaling content.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Dtap {
     /// MS requests registration in a location area (paper step 1.1).
     LocationUpdateRequest {

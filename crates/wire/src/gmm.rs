@@ -2,14 +2,13 @@
 //! (GSM 04.08 §9.4, GSM 03.60), exchanged between an attaching endpoint
 //! (GPRS MS — or the VMSC acting as one) and the SGSN over Gb.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{Imsi, Ipv4Addr, Nsapi, Tmsi};
 use crate::qos::QosProfile;
 
 /// A GMM/SM signaling message.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum GmmMessage {
     /// Endpoint requests GPRS attach (paper step 1.3).
     AttachRequest {

@@ -5,7 +5,6 @@
 //! specification lays it out; round-trip property tests live in
 //! `tests/codec_roundtrip.rs` of this crate.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{Imsi, Ipv4Addr, Nsapi, Teid};
@@ -13,7 +12,7 @@ use crate::message::Message;
 use crate::qos::QosProfile;
 
 /// GTP v0 message types (GSM 09.60 §7.1, table 2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum GtpMsgType {
     /// Path keep-alive request.
@@ -89,7 +88,7 @@ impl std::fmt::Display for DecodeGtpError {
 impl std::error::Error for DecodeGtpError {}
 
 /// The fixed GTP v0 header (20 bytes).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GtpHeader {
     /// Message type.
     pub msg_type: GtpMsgType,
@@ -151,7 +150,7 @@ impl GtpHeader {
 }
 
 /// A GTP message as exchanged between SGSN and GGSN.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum GtpMessage {
     /// SGSN → GGSN: create a tunnel for a PDP context.
     CreatePdpRequest {

@@ -7,7 +7,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 /// Error returned when parsing an identity from text fails.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,7 +33,7 @@ impl fmt::Display for ParseIdError {
 impl std::error::Error for ParseIdError {}
 
 /// Packed decimal digit string (up to 16 digits) used by IMSI and MSISDN.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct Digits {
     /// Each digit occupies 4 bits, most significant digit first.
     packed: u64,
@@ -112,7 +111,7 @@ impl fmt::Debug for Digits {
 /// assert_eq!(imsi.to_string(), "466920123456789");
 /// # Ok::<(), vgprs_wire::ParseIdError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Imsi(Digits);
 
 impl Imsi {
@@ -173,7 +172,7 @@ impl fmt::Display for Imsi {
 /// assert!(hk.has_country_code("852"));
 /// # Ok::<(), vgprs_wire::ParseIdError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Msisdn(Digits);
 
 impl Msisdn {
@@ -225,7 +224,7 @@ impl fmt::Display for Msisdn {
 
 /// Temporary Mobile Subscriber Identity, allocated by a VLR to avoid
 /// sending the IMSI over the air.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tmsi(pub u32);
 
 impl fmt::Debug for Tmsi {
@@ -241,7 +240,7 @@ impl fmt::Display for Tmsi {
 }
 
 /// How a mobile identifies itself in a location update or paging response.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MsIdentity {
     /// Permanent identity (first attach, or TMSI unknown).
     Imsi(Imsi),
@@ -259,7 +258,7 @@ impl fmt::Display for MsIdentity {
 }
 
 /// Location Area Identity: MCC + MNC + LAC (GSM 03.03 §4.1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lai {
     /// Mobile country code.
     pub mcc: u16,
@@ -294,7 +293,7 @@ impl fmt::Display for Lai {
 }
 
 /// Cell identity within a location area.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CellId(pub u16);
 
 impl fmt::Display for CellId {
@@ -308,7 +307,7 @@ impl fmt::Display for CellId {
 /// The reproduction runs its own address space, so this is a plain newtype
 /// over the 32-bit value rather than `std::net::Ipv4Addr` (which would
 /// suggest real sockets exist somewhere).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ipv4Addr(pub u32);
 
 impl Ipv4Addr {
@@ -371,7 +370,7 @@ impl FromStr for Ipv4Addr {
 
 /// An IP transport address (address + port), e.g. an H.225 call-signaling
 /// channel endpoint.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransportAddr {
     /// IP address.
     pub ip: Ipv4Addr,
@@ -400,7 +399,7 @@ impl fmt::Display for TransportAddr {
 
 /// GTP Tunnel Identifier (GSM 09.60 uses a TID derived from IMSI + NSAPI;
 /// we use the modern flat 32-bit form for clarity).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Teid(pub u32);
 
 impl fmt::Debug for Teid {
@@ -417,7 +416,7 @@ impl fmt::Display for Teid {
 
 /// Network Service Access Point Identifier selecting one PDP context of an
 /// MS. Valid values are 5–15 (GSM 04.65).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Nsapi(u8);
 
 impl Nsapi {
@@ -458,7 +457,7 @@ impl fmt::Display for Nsapi {
 }
 
 /// ISUP Circuit Identification Code: one voice circuit within a trunk group.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Cic(pub u16);
 
 impl fmt::Display for Cic {
@@ -468,7 +467,7 @@ impl fmt::Display for Cic {
 }
 
 /// SS7 signaling point code identifying a switch.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PointCode(pub u16);
 
 impl fmt::Display for PointCode {
@@ -484,7 +483,7 @@ impl fmt::Display for PointCode {
 /// multiplex all MSs of a BTS/BSC onto one link; real BSSAP runs over
 /// connection-oriented SCCP for exactly this reason. The BTS allocates a
 /// reference when a transaction starts and every relay keys on it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ConnRef(pub u32);
 
 impl ConnRef {
@@ -504,7 +503,7 @@ impl fmt::Display for ConnRef {
 }
 
 /// Q.931 call reference value, scoped to one signaling interface.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Crv(pub u16);
 
 impl fmt::Display for Crv {
@@ -519,7 +518,7 @@ impl fmt::Display for Crv {
 /// reproduction substitutes a keyed mixing function with the same interface
 /// (see `vgprs_gsm::auth`). Only the challenge/response protocol shape
 /// matters to the paper's flows.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct AuthTriplet {
     /// Random challenge sent to the MS.
     pub rand: u64,
@@ -531,7 +530,7 @@ pub struct AuthTriplet {
 
 /// A call identifier unique within one scenario, used to correlate
 /// statistics across network elements.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CallId(pub u64);
 
 impl fmt::Display for CallId {

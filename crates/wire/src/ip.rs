@@ -1,7 +1,6 @@
 //! Simulated IP packets carried on the LAN/Gi segments and tunneled
 //! through the GPRS core.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::TransportAddr;
 use crate::q931::Q931Message;
@@ -9,7 +8,7 @@ use crate::ras::RasMessage;
 use crate::rtp::RtpPacket;
 
 /// What an [`IpPacket`] carries.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum IpPayload {
     /// H.225 RAS (endpoint ↔ gatekeeper).
     Ras(RasMessage),
@@ -45,7 +44,7 @@ impl IpPayload {
 }
 
 /// A routable IP packet between two transport addresses.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IpPacket {
     /// Source address and port.
     pub src: TransportAddr,

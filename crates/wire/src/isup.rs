@@ -1,13 +1,12 @@
 //! SS7 ISDN User Part (ISUP) trunk signaling between telephone switches,
 //! with a binary codec for the message subset the PSTN substrate uses.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{CallId, Cic, Msisdn};
 
 /// ISUP message kinds used by call setup and release.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum IsupKind {
     /// Initial Address Message: seizes a circuit and carries the digits.
     Iam {
@@ -43,7 +42,7 @@ impl IsupKind {
 }
 
 /// A complete ISUP message on one circuit.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IsupMessage {
     /// The circuit this message controls.
     pub cic: Cic,

@@ -5,7 +5,6 @@
 //! SGSN ↔ HLR (Gr). Labels follow the paper's `MAP_…` spelling exactly so
 //! the reproduced ladders read like Figures 4–6.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{
@@ -14,7 +13,7 @@ use crate::ids::{
 use crate::subscriber::SubscriberProfile;
 
 /// A MAP operation (invoke or result) as carried over an SS7 interface.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MapMessage {
     /// MSC/VMSC → VLR: register the MS in this location area (step 1.1).
     UpdateLocationArea {

@@ -1,6 +1,5 @@
 //! The union message type carried by the simulated network.
 
-use serde::{Deserialize, Serialize};
 use vgprs_sim::Payload;
 
 use crate::command::Command;
@@ -18,7 +17,7 @@ use crate::map::MapMessage;
 /// [`Interface`](vgprs_sim::Interface) (recorded per link) tells *where* it
 /// traveled. Labels reproduce the paper's message names so traces read
 /// like Figures 4–6.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// GSM 04.08 signaling on the air interface (each MS has a dedicated
     /// radio link, so no multiplexing reference is needed).

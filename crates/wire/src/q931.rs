@@ -7,7 +7,6 @@
 //! Release Complete, each with the information elements required by the
 //! reproduction (numbers, cause, transport addresses, call correlation).
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{CallId, Crv, Ipv4Addr, Msisdn, TransportAddr};
@@ -30,7 +29,7 @@ mod ie {
 }
 
 /// The message-type dependent content.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Q931Kind {
     /// Call establishment request (H.225 Setup with fast-connect media).
     Setup {
@@ -73,7 +72,7 @@ impl Q931Kind {
 }
 
 /// A complete Q.931 message.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Q931Message {
     /// Call reference value on this signaling interface.
     pub crv: Crv,

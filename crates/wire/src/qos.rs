@@ -7,10 +7,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Precedence class: who survives congestion (1 = high, 3 = low).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Precedence {
     /// Service commitments maintained ahead of all other classes.
     High,
@@ -21,7 +20,7 @@ pub enum Precedence {
 }
 
 /// Delay class 1–4 (4 = best effort).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum DelayClass {
     /// Predictive delay class 1 (tightest).
     Class1,
@@ -34,7 +33,7 @@ pub enum DelayClass {
 }
 
 /// Reliability class 1–5 (1 = most protected).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ReliabilityClass(u8);
 
 impl ReliabilityClass {
@@ -54,7 +53,7 @@ impl ReliabilityClass {
 }
 
 /// Peak throughput class 1–9 (8 kbit/s × 2^(class−1)).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PeakThroughputClass(u8);
 
 impl PeakThroughputClass {
@@ -88,7 +87,7 @@ impl PeakThroughputClass {
 /// let voice = QosProfile::realtime_voice();
 /// assert!(voice.outranks(&signaling));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct QosProfile {
     /// Precedence under congestion.
     pub precedence: Precedence,

@@ -1,14 +1,13 @@
 //! H.225.0 RAS (Registration, Admission and Status) messages exchanged
 //! between H.323 endpoints and the gatekeeper.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cause::Cause;
 use crate::ids::{CallId, Imsi, Msisdn, TransportAddr};
 
 /// A RAS message. Labels use the paper's abbreviations (RRQ, RCF, ARQ,
 /// ACF, ARJ, DRQ, DCF) prefixed with `RAS_`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RasMessage {
     /// Registration Request: endpoint announces its transport address and
     /// alias (the MS's MSISDN in vGPRS — paper step 1.4).

@@ -1,7 +1,6 @@
 //! RTP (RFC 1889 as of the paper's era) packets and the 12-byte header
 //! codec. The VMSC's vocoder emits one RTP packet per 20 ms GSM frame.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::CallId;
 
@@ -13,7 +12,7 @@ pub const PAYLOAD_TYPE_GSM: u8 = 3;
 /// The audio samples themselves are not simulated; `origin_us` carries the
 /// frame's creation time so sinks can measure mouth-to-ear delay, and
 /// `payload_len` its size for bandwidth accounting.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RtpPacket {
     /// Synchronization source (one per media stream direction).
     pub ssrc: u32,

@@ -1,13 +1,12 @@
 //! Subscriber profile data held by the HLR and copied to VLRs.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::Msisdn;
 
 /// The service profile the HLR stores per subscriber and downloads to a
 /// visited VLR via `MAP_Insert_Subs_Data` (paper step 1.2: "the profile
 /// indicates, e.g., if the MS is allowed to make international calls").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SubscriberProfile {
     /// The subscriber's dialable number.
     pub msisdn: Msisdn,

@@ -1,36 +1,43 @@
-//! Property-based round-trip tests for every binary codec in vgprs-wire.
+//! Randomized round-trip tests for every binary codec in vgprs-wire.
+//!
+//! Formerly proptest properties; now seeded-loop tests driven by
+//! [`SimRng`] so the crate builds fully offline. Each test runs a few
+//! hundred random cases derived from a fixed seed, which keeps failures
+//! reproducible without an external shrinker.
 
-use proptest::prelude::*;
-
+use vgprs_sim::SimRng;
 use vgprs_wire::{
     CallId, Cause, Cic, Crv, GtpHeader, GtpMsgType, Imsi, Ipv4Addr, IsupKind, IsupMessage,
     Msisdn, Q931Kind, Q931Message, RtpPacket, TransportAddr,
 };
 
-fn arb_msisdn() -> impl Strategy<Value = Msisdn> {
-    proptest::collection::vec(0u8..10, 5..=16).prop_map(|digits| {
-        let s: String = digits.iter().map(|d| char::from(b'0' + d)).collect();
-        Msisdn::parse(&s).expect("generated digits are valid")
-    })
+const CASES: usize = 300;
+
+fn rand_digits(rng: &mut SimRng, lo: usize, hi: usize) -> String {
+    let len = rng.range(lo as u64, hi as u64 + 1) as usize;
+    (0..len)
+        .map(|_| char::from(b'0' + rng.range(0, 10) as u8))
+        .collect()
 }
 
-fn arb_imsi() -> impl Strategy<Value = Imsi> {
-    proptest::collection::vec(0u8..10, 14..=15).prop_map(|digits| {
-        let s: String = digits.iter().map(|d| char::from(b'0' + d)).collect();
-        Imsi::parse(&s).expect("generated digits are valid")
-    })
+fn rand_msisdn(rng: &mut SimRng) -> Msisdn {
+    Msisdn::parse(&rand_digits(rng, 5, 16)).expect("generated digits are valid")
 }
 
-fn arb_transport() -> impl Strategy<Value = TransportAddr> {
-    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| TransportAddr::new(Ipv4Addr(ip), port))
+fn rand_imsi(rng: &mut SimRng) -> Imsi {
+    Imsi::parse(&rand_digits(rng, 14, 15)).expect("generated digits are valid")
 }
 
-fn arb_cause() -> impl Strategy<Value = Cause> {
-    proptest::sample::select(Cause::ALL.to_vec())
+fn rand_transport(rng: &mut SimRng) -> TransportAddr {
+    TransportAddr::new(Ipv4Addr(rng.next_u32()), rng.next_u32() as u16)
 }
 
-fn arb_gtp_type() -> impl Strategy<Value = GtpMsgType> {
-    proptest::sample::select(vec![
+fn rand_cause(rng: &mut SimRng) -> Cause {
+    Cause::ALL[rng.range(0, Cause::ALL.len() as u64) as usize]
+}
+
+fn rand_gtp_type(rng: &mut SimRng) -> GtpMsgType {
+    const TYPES: &[GtpMsgType] = &[
         GtpMsgType::EchoRequest,
         GtpMsgType::EchoResponse,
         GtpMsgType::CreatePdpContextRequest,
@@ -42,139 +49,201 @@ fn arb_gtp_type() -> impl Strategy<Value = GtpMsgType> {
         GtpMsgType::PduNotificationRequest,
         GtpMsgType::PduNotificationResponse,
         GtpMsgType::TPdu,
-    ])
+    ];
+    TYPES[rng.range(0, TYPES.len() as u64) as usize]
 }
 
-proptest! {
-    #[test]
-    fn gtp_header_roundtrip(
-        msg_type in arb_gtp_type(),
-        length in any::<u16>(),
-        seq in any::<u16>(),
-        flow in any::<u16>(),
-        tid in any::<u64>(),
-    ) {
-        let h = GtpHeader { msg_type, length, seq, flow, tid };
-        let decoded = GtpHeader::decode(&h.encode()).expect("well-formed header decodes");
-        prop_assert_eq!(decoded, h);
-    }
+fn rand_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.range(0, max_len as u64) as usize;
+    (0..len).map(|_| rng.range(0, 256) as u8).collect()
+}
 
-    #[test]
-    fn gtp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn gtp_header_roundtrip() {
+    let mut rng = SimRng::new(0x617);
+    for _ in 0..CASES {
+        let h = GtpHeader {
+            msg_type: rand_gtp_type(&mut rng),
+            length: rng.next_u32() as u16,
+            seq: rng.next_u32() as u16,
+            flow: rng.next_u32() as u16,
+            tid: rng.next_u64(),
+        };
+        let decoded = GtpHeader::decode(&h.encode()).expect("well-formed header decodes");
+        assert_eq!(decoded, h);
+    }
+}
+
+#[test]
+fn gtp_decode_never_panics() {
+    let mut rng = SimRng::new(0x618);
+    for _ in 0..CASES {
+        let bytes = rand_bytes(&mut rng, 64);
         let _ = GtpHeader::decode(&bytes);
     }
+}
 
-    #[test]
-    fn rtp_header_roundtrip(
-        ssrc in any::<u32>(),
-        seq in any::<u16>(),
-        timestamp in any::<u32>(),
-        payload_type in 0u8..128,
-        marker in any::<bool>(),
-    ) {
+#[test]
+fn rtp_header_roundtrip() {
+    let mut rng = SimRng::new(0x619);
+    for _ in 0..CASES {
         let p = RtpPacket {
-            ssrc, seq, timestamp, payload_type, marker,
-            payload_len: 33, call: CallId(0), origin_us: 0,
+            ssrc: rng.next_u32(),
+            seq: rng.next_u32() as u16,
+            timestamp: rng.next_u32(),
+            payload_type: rng.range(0, 128) as u8,
+            marker: rng.chance(0.5),
+            payload_len: 33,
+            call: CallId(0),
+            origin_us: 0,
         };
         let d = RtpPacket::decode_header(&p.encode_header()).expect("decodes");
-        prop_assert_eq!(d.ssrc, ssrc);
-        prop_assert_eq!(d.seq, seq);
-        prop_assert_eq!(d.timestamp, timestamp);
-        prop_assert_eq!(d.payload_type, payload_type);
-        prop_assert_eq!(d.marker, marker);
+        assert_eq!(d.ssrc, p.ssrc);
+        assert_eq!(d.seq, p.seq);
+        assert_eq!(d.timestamp, p.timestamp);
+        assert_eq!(d.payload_type, p.payload_type);
+        assert_eq!(d.marker, p.marker);
     }
+}
 
-    #[test]
-    fn rtp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+#[test]
+fn rtp_decode_never_panics() {
+    let mut rng = SimRng::new(0x61A);
+    for _ in 0..CASES {
+        let bytes = rand_bytes(&mut rng, 32);
         let _ = RtpPacket::decode_header(&bytes);
     }
+}
 
-    #[test]
-    fn q931_setup_roundtrip(
-        crv in any::<u16>(),
-        call in any::<u64>(),
-        calling in proptest::option::of(arb_msisdn()),
-        called in arb_msisdn(),
-        signal in arb_transport(),
-        media in arb_transport(),
-    ) {
-        let m = Q931Message {
-            crv: Crv(crv),
-            call: CallId(call),
-            kind: Q931Kind::Setup { calling, called, signal_addr: signal, media_addr: media },
+#[test]
+fn q931_setup_roundtrip() {
+    let mut rng = SimRng::new(0x61B);
+    for _ in 0..CASES {
+        let calling = if rng.chance(0.5) {
+            Some(rand_msisdn(&mut rng))
+        } else {
+            None
         };
-        prop_assert_eq!(Q931Message::decode(&m.encode()).expect("decodes"), m);
+        let m = Q931Message {
+            crv: Crv(rng.next_u32() as u16),
+            call: CallId(rng.next_u64()),
+            kind: Q931Kind::Setup {
+                calling,
+                called: rand_msisdn(&mut rng),
+                signal_addr: rand_transport(&mut rng),
+                media_addr: rand_transport(&mut rng),
+            },
+        };
+        assert_eq!(Q931Message::decode(&m.encode()).expect("decodes"), m);
     }
+}
 
-    #[test]
-    fn q931_other_kinds_roundtrip(
-        crv in any::<u16>(),
-        call in any::<u64>(),
-        choice in 0usize..4,
-        media in arb_transport(),
-        cause in arb_cause(),
-    ) {
-        let kind = match choice {
+#[test]
+fn q931_other_kinds_roundtrip() {
+    let mut rng = SimRng::new(0x61C);
+    for _ in 0..CASES {
+        let kind = match rng.range(0, 4) {
             0 => Q931Kind::CallProceeding,
             1 => Q931Kind::Alerting,
-            2 => Q931Kind::Connect { media_addr: media },
-            _ => Q931Kind::ReleaseComplete { cause },
+            2 => Q931Kind::Connect {
+                media_addr: rand_transport(&mut rng),
+            },
+            _ => Q931Kind::ReleaseComplete {
+                cause: rand_cause(&mut rng),
+            },
         };
-        let m = Q931Message { crv: Crv(crv), call: CallId(call), kind };
-        prop_assert_eq!(Q931Message::decode(&m.encode()).expect("decodes"), m);
+        let m = Q931Message {
+            crv: Crv(rng.next_u32() as u16),
+            call: CallId(rng.next_u64()),
+            kind,
+        };
+        assert_eq!(Q931Message::decode(&m.encode()).expect("decodes"), m);
     }
+}
 
-    #[test]
-    fn q931_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+#[test]
+fn q931_decode_never_panics() {
+    let mut rng = SimRng::new(0x61D);
+    for _ in 0..CASES {
+        let bytes = rand_bytes(&mut rng, 96);
         let _ = Q931Message::decode(&bytes);
     }
+}
 
-    #[test]
-    fn isup_roundtrip(
-        cic in any::<u16>(),
-        call in any::<u64>(),
-        choice in 0usize..5,
-        called in arb_msisdn(),
-        calling in proptest::option::of(arb_msisdn()),
-        cause in arb_cause(),
-    ) {
-        let kind = match choice {
-            0 => IsupKind::Iam { called, calling },
+#[test]
+fn isup_roundtrip() {
+    let mut rng = SimRng::new(0x61E);
+    for _ in 0..CASES {
+        let kind = match rng.range(0, 5) {
+            0 => {
+                let calling = if rng.chance(0.5) {
+                    Some(rand_msisdn(&mut rng))
+                } else {
+                    None
+                };
+                IsupKind::Iam {
+                    called: rand_msisdn(&mut rng),
+                    calling,
+                }
+            }
             1 => IsupKind::Acm,
             2 => IsupKind::Anm,
-            3 => IsupKind::Rel { cause },
+            3 => IsupKind::Rel {
+                cause: rand_cause(&mut rng),
+            },
             _ => IsupKind::Rlc,
         };
-        let m = IsupMessage { cic: Cic(cic), call: CallId(call), kind };
-        prop_assert_eq!(IsupMessage::decode(&m.encode()).expect("decodes"), m);
+        let m = IsupMessage {
+            cic: Cic(rng.next_u32() as u16),
+            call: CallId(rng.next_u64()),
+            kind,
+        };
+        assert_eq!(IsupMessage::decode(&m.encode()).expect("decodes"), m);
     }
+}
 
-    #[test]
-    fn isup_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn isup_decode_never_panics() {
+    let mut rng = SimRng::new(0x61F);
+    for _ in 0..CASES {
+        let bytes = rand_bytes(&mut rng, 64);
         let _ = IsupMessage::decode(&bytes);
     }
+}
 
-    #[test]
-    fn msisdn_parse_display_roundtrip(m in arb_msisdn()) {
+#[test]
+fn msisdn_parse_display_roundtrip() {
+    let mut rng = SimRng::new(0x620);
+    for _ in 0..CASES {
+        let m = rand_msisdn(&mut rng);
         let s = m.to_string();
-        prop_assert_eq!(Msisdn::parse(&s).expect("reparse"), m);
+        assert_eq!(Msisdn::parse(&s).expect("reparse"), m);
     }
+}
 
-    #[test]
-    fn imsi_parse_display_roundtrip(i in arb_imsi()) {
+#[test]
+fn imsi_parse_display_roundtrip() {
+    let mut rng = SimRng::new(0x621);
+    for _ in 0..CASES {
+        let i = rand_imsi(&mut rng);
         let s = i.to_string();
-        prop_assert_eq!(Imsi::parse(&s).expect("reparse"), i);
+        assert_eq!(Imsi::parse(&s).expect("reparse"), i);
     }
+}
 
-    #[test]
-    fn ipv4_parse_display_roundtrip(raw in any::<u32>()) {
-        let ip = Ipv4Addr(raw);
+#[test]
+fn ipv4_parse_display_roundtrip() {
+    let mut rng = SimRng::new(0x622);
+    for _ in 0..CASES {
+        let ip = Ipv4Addr(rng.next_u32());
         let reparsed: Ipv4Addr = ip.to_string().parse().expect("reparse");
-        prop_assert_eq!(reparsed, ip);
+        assert_eq!(reparsed, ip);
     }
+}
 
-    #[test]
-    fn cause_q850_roundtrip(c in arb_cause()) {
-        prop_assert_eq!(Cause::from_q850(c.q850_value()), Some(c));
+#[test]
+fn cause_q850_roundtrip() {
+    for c in Cause::ALL {
+        assert_eq!(Cause::from_q850(c.q850_value()), Some(c));
     }
 }

@@ -1,87 +1,49 @@
-//! Capacity study: a busy hour at one vGPRS cell. Many subscribers place
-//! staggered calls; we watch traffic-channel occupancy, gatekeeper
-//! admissions and voice quality hold up (or degrade) under load.
+//! Capacity study: a busy hour at one vGPRS serving area, driven by the
+//! `vgprs-load` traffic engine. A population places Poisson call
+//! attempts against deliberately scarce radio (8 traffic channels), and
+//! the streaming KPI report shows the cell blocking excess calls while
+//! the VoIP core stays healthy.
 //!
 //! ```text
 //! cargo run --release --example busy_hour
 //! ```
 
-use vgprs::core::{VgprsZone, VgprsZoneConfig, Vmsc};
-use vgprs::gsm::MobileStation;
-use vgprs::sim::{Network, SimDuration};
-use vgprs::wire::{CallId, Command, Imsi, Message, Msisdn};
+use vgprs::load::{run_load, CallMix, LoadConfig, PopulationConfig};
 
 fn main() {
-    let subscribers = 24;
-    let tch_capacity = 8; // deliberately scarce: blocking will happen
-    let mut net = Network::new(7);
-    let mut zone = VgprsZone::build(
-        &mut net,
-        VgprsZoneConfig {
-            tch_capacity,
-            ..VgprsZoneConfig::taiwan()
+    let cfg = LoadConfig {
+        subscribers: 96,
+        shards: 1,     // one serving area, one cell
+        threads: 1,
+        seed: 7,
+        tch_capacity: 8, // deliberately scarce: blocking will happen
+        population: PopulationConfig {
+            calls_per_sub_hour: 60.0, // everyone calls within the hour...
+            window_secs: 60,          // ...compressed into one minute
+            mean_hold_secs: 40.0,
+            mix: CallMix {
+                mo: 0.6,
+                mt: 0.3,
+                m2m: 0.1,
+            },
+            mobility_fraction: 0.0,
+            ..PopulationConfig::default()
         },
-    );
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg);
+    print!("{}", report.render());
 
-    let mut mss = Vec::new();
-    for i in 0..subscribers {
-        let imsi: Imsi = format!("4669200001000{i:02}").parse().expect("valid");
-        let msisdn: Msisdn = format!("88691210{i:04}").parse().expect("valid");
-        let alias: Msisdn = format!("88622010{i:04}").parse().expect("valid");
-        let ms = zone.add_subscriber(&mut net, &format!("ms{i}"), imsi, 0x3000 + i, msisdn);
-        zone.add_terminal(&mut net, &format!("t{i}"), alias);
-        mss.push((ms, alias));
-        net.inject(
-            SimDuration::from_millis(i * 9),
-            ms,
-            Message::Cmd(Command::PowerOn),
-        );
-    }
-    net.run_until_quiescent();
     println!(
-        "{} subscribers registered through one VMSC ({} TCHs in the cell)",
-        net.node::<Vmsc>(zone.vmsc).expect("vmsc").registered_count(),
-        tch_capacity
-    );
-
-    // Everyone tries to call within the same minute.
-    for (i, (ms, alias)) in mss.iter().enumerate() {
-        net.inject(
-            SimDuration::from_millis(i as u64 * 400),
-            *ms,
-            Message::Cmd(Command::Dial {
-                call: CallId(1000 + i as u64),
-                called: *alias,
-            }),
-        );
-    }
-    net.run_until(net.now() + SimDuration::from_secs(40));
-
-    let connected: u64 = mss
-        .iter()
-        .map(|(ms, _)| net.node::<MobileStation>(*ms).expect("ms").calls_connected)
-        .sum();
-    println!("\ncalls attempted          : {subscribers}");
-    println!("calls connected          : {connected}");
-    println!(
-        "blocked at the cell      : {} (no traffic channel)",
-        net.stats().counter("bsc.tch_blocked")
+        "\n{} attempts met {} traffic channels: {:.1}% blocked at the BSC,",
+        report.attempts(),
+        cfg.tch_capacity,
+        report.blocking_rate() * 100.0
     );
     println!(
-        "gatekeeper admissions    : {}",
-        net.stats().counter("gk.admissions")
+        "yet the calls that got a channel scored a {:.2} MOS — scarce radio",
+        report.mos()
     );
-    println!(
-        "voice contexts activated : {}",
-        net.stats().counter("vmsc.voice_context_requested")
-    );
-    if let Some(h) = net.stats().histogram("term.voice_e2e_ms") {
-        println!(
-            "voice delay (connected)  : mean {:.1} ms, p95 {:.1} ms",
-            h.mean(),
-            h.percentile(95.0)
-        );
-    }
-    println!("\nScarce radio blocks excess calls at the BSC — the VoIP core");
-    println!("never saturates, exactly the division of labor vGPRS intends.");
+    println!("blocks excess calls at the cell; the VoIP core never saturates,");
+    println!("exactly the division of labor vGPRS intends.");
 }

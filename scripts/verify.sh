@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint. This is what CI (and the
+# repo's tier-1 gate) runs; it must pass with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> OK"

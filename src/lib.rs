@@ -10,6 +10,7 @@ pub use vgprs_core as core;
 pub use vgprs_gprs as gprs;
 pub use vgprs_gsm as gsm;
 pub use vgprs_h323 as h323;
+pub use vgprs_load as load;
 pub use vgprs_media as media;
 pub use vgprs_pstn as pstn;
 pub use vgprs_sim as sim;
