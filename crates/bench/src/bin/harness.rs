@@ -5,8 +5,8 @@
 //! harness [fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|c1|c2|c3|c4|c5|all]
 //! harness load [--subscribers N] [--threads N] [--shards N] [--seed N]
 //!              [--window-secs N] [--rate CALLS_PER_SUB_HOUR] [--hold SECS]
-//!              [--mix MO,MT,M2M] [--mobility FRAC] [--tch N]
-//!              [--voice-sample-ms N]
+//!              [--mix MO,MT,M2M] [--mobility FRAC] [--cross-shard-rate FRAC]
+//!              [--tch N] [--voice-sample-ms N]
 //! harness capacity [--subscribers N] [--threads N] [--seed N]
 //! harness bench
 //! ```
@@ -110,6 +110,7 @@ fn load_config_from(flags: &Flags<'_>) -> LoadConfig {
     cfg.population.calls_per_sub_hour = flags.parse("--rate", 4.0);
     cfg.population.mean_hold_secs = flags.parse("--hold", 90.0);
     cfg.population.mobility_fraction = flags.parse("--mobility", 0.05);
+    cfg.population.cross_shard_fraction = flags.parse("--cross-shard-rate", 0.0);
     if let Some(mix) = flags.get("--mix") {
         let parts: Vec<f64> = mix.split(',').filter_map(|p| p.parse().ok()).collect();
         if parts.len() != 3 {

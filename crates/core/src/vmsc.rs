@@ -157,6 +157,7 @@ pub struct MsEntry {
 #[derive(Debug)]
 struct PendingTargetHandoff {
     call: CallId,
+    imsi: Imsi,
     anchor: NodeId,
     cic: Cic,
 }
@@ -719,7 +720,7 @@ impl Vmsc {
                 self.calls.insert(
                     call,
                     VmscCall {
-                        imsi: Imsi::parse("00000000000000").expect("placeholder IMSI is well-formed"),
+                        imsi: pending.imsi,
                         phase: CallPhase::Active,
                         crv: Crv(self.next_crv),
                         remote_signal: None,
@@ -925,7 +926,7 @@ impl Vmsc {
                 }
             }
             // ---- inter-MSC handoff, target side ----
-            MapMessage::PrepareHandover { call, .. } => {
+            MapMessage::PrepareHandover { call, imsi, .. } => {
                 self.next_ho_ref += 1;
                 self.next_cic += 1;
                 let (ho_ref, cic) = (self.next_ho_ref, Cic(40_000 + self.next_cic));
@@ -933,6 +934,7 @@ impl Vmsc {
                     ho_ref,
                     PendingTargetHandoff {
                         call,
+                        imsi,
                         anchor: from,
                         cic,
                     },

@@ -70,6 +70,27 @@ impl Hlr {
         self.records.get(imsi).and_then(|r| r.sgsn)
     }
 
+    /// Hands subscriber ownership to another HLR: drops the local record
+    /// and cancels any serving VLR so stale registrations can't answer
+    /// routing queries here. Driven administratively (an `Internal`
+    /// `MAP_Cancel_Location`) by the sharded-HLR directory when a
+    /// subscriber's home shard changes; the receiving HLR re-provisions
+    /// the subscriber from the shared population plan.
+    fn transfer_out(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi) {
+        let Some(rec) = self.records.remove(&imsi) else {
+            ctx.count("hlr.transfer_unknown_subscriber");
+            return;
+        };
+        self.msisdn_index.remove(&rec.profile.msisdn);
+        self.pending_update.remove(&imsi);
+        self.pending_sri.remove(&imsi);
+        if let Some((vlr_node, _)) = rec.vlr {
+            ctx.count("hlr.cancel_location_sent");
+            ctx.send(vlr_node, Message::Map(MapMessage::CancelLocation { imsi }));
+        }
+        ctx.count("hlr.ownership_transferred");
+    }
+
     fn handle_map(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, msg: MapMessage) {
         match msg {
             MapMessage::SendAuthenticationInfo { imsi } => {
@@ -210,6 +231,13 @@ impl Node<Message> for Hlr {
                 if matches!(iface, Interface::C | Interface::D | Interface::Gr) =>
             {
                 self.handle_map(ctx, from, map)
+            }
+            // Administrative ownership transfer from the shard driver
+            // (never from a peer: `Internal` only arrives via `inject`).
+            Message::Map(MapMessage::CancelLocation { imsi })
+                if iface == Interface::Internal =>
+            {
+                self.transfer_out(ctx, imsi)
             }
             _ => ctx.count("hlr.unexpected_message"),
         }
@@ -547,6 +575,47 @@ mod tests {
         net.connect(sgsn, hlr, Interface::Gr, SimDuration::from_millis(1));
         net.run_until_quiescent();
         assert_eq!(net.node::<Hlr>(hlr).unwrap().serving_sgsn(&imsi()), Some(sgsn));
+    }
+
+    #[test]
+    fn internal_cancel_location_transfers_ownership() {
+        let mut net = Network::new(9);
+        let hlr = net.add_node("hlr", provisioned());
+        let mut d = Driver::new(
+            hlr,
+            vec![Message::Map(MapMessage::UpdateLocation {
+                imsi: imsi(),
+                vlr: PointCode(10),
+            })],
+        );
+        d.ack_isd = true;
+        let vlr = net.add_node("vlr", d);
+        net.connect(vlr, hlr, Interface::D, SimDuration::from_millis(1));
+        net.run_until_quiescent();
+        assert_eq!(net.node::<Hlr>(hlr).unwrap().serving_vlr(&imsi()), Some(vlr));
+
+        // Administrative transfer: record leaves, the serving VLR is told.
+        net.inject(
+            SimDuration::ZERO,
+            hlr,
+            Message::Map(MapMessage::CancelLocation { imsi: imsi() }),
+        );
+        net.run_until_quiescent();
+        assert_eq!(net.node::<Hlr>(hlr).unwrap().subscriber_count(), 0);
+        assert!(net.node::<Hlr>(hlr).unwrap().serving_vlr(&imsi()).is_none());
+        assert!(labels(&net.node::<Driver>(vlr).unwrap().got)
+            .contains(&"MAP_Cancel_Location".to_string()));
+        assert_eq!(net.stats().counter("hlr.ownership_transferred"), 1);
+
+        // A second transfer for the same subscriber is a no-op.
+        net.inject(
+            SimDuration::ZERO,
+            hlr,
+            Message::Map(MapMessage::CancelLocation { imsi: imsi() }),
+        );
+        net.run_until_quiescent();
+        assert_eq!(net.stats().counter("hlr.transfer_unknown_subscriber"), 1);
+        assert_eq!(net.stats().counter("hlr.ownership_transferred"), 1);
     }
 
     use crate::auth::a3_sres;

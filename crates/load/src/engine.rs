@@ -1,20 +1,25 @@
 //! The sharded parallel driver.
 //!
 //! The population is partitioned into a fixed number of shards — a pure
-//! function of the configuration, never of the machine — and a pool of
-//! worker threads pulls shards off a shared counter. Each shard is a
-//! fully independent [`vgprs_sim::Network`], so no locks are held while
-//! simulating; the only synchronization is the work counter and the
-//! slot each shard's report is written to. Reports are merged in shard
-//! order, which makes the KPI output bit-identical for any `--threads`.
+//! function of the configuration, never of the machine — and every
+//! shard advances through the busy hour in **epoch lockstep**: a pool
+//! of worker threads pulls shards off a shared counter each epoch, and
+//! an epoch barrier exchanges cross-shard traffic through the
+//! [`Mailbox`](crate::mailbox::Mailbox). Barrier routing iterates
+//! shards in index order and delivery happens at epoch boundaries, so
+//! the interleaving of inter-shard messages — handoff dialogue, trunk
+//! voice, HLR ownership moves — is a function of the configuration and
+//! seed alone. Reports are merged in shard order, which makes the KPI
+//! output bit-identical for any `--threads`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::mailbox::{Flit, HlrDirectory, Mailbox};
 use crate::population::{subscriber_plan, PopulationConfig, SubscriberPlan};
 use crate::report::LoadReport;
-use crate::shard::{run_shard, ShardConfig, ShardReport};
+use crate::shard::{Shard, ShardConfig, ShardReport};
 
 /// Target shard size when the caller lets the engine pick: small enough
 /// that one cell's 64 traffic channels see realistic contention, large
@@ -101,17 +106,42 @@ pub fn partition(subscribers: usize, shards: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Runs `worker` on a shared work counter across `threads` threads (or
+/// inline when one suffices).
+fn run_pool(threads: usize, worker: impl Fn(usize) + Sync) {
+    if threads <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let worker = &worker;
+                scope.spawn(move || worker(t));
+            }
+        });
+    }
+}
+
+/// A shard plus its barrier-exchange buffers, lockable independently so
+/// any worker thread can carry any shard through the current epoch.
+struct EpochSlot {
+    shard: Shard,
+    inbox: Vec<(usize, Flit)>,
+    outbox: Vec<crate::mailbox::Envelope>,
+}
+
 /// Runs the configured busy hour and returns the merged report.
 pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     let shards = cfg.effective_shards();
     let threads = cfg.effective_threads();
-    let shard_cfgs: Vec<ShardConfig> = partition(cfg.subscribers, shards)
-        .into_iter()
+    let parts = partition(cfg.subscribers, shards);
+    let shard_cfgs: Vec<ShardConfig> = parts
+        .iter()
         .enumerate()
-        .map(|(index, (base, size))| ShardConfig {
+        .map(|(index, &(base, size))| ShardConfig {
             shard_index: index,
             base_index: base,
             subscribers: size,
+            total_shards: shards,
             master_seed: cfg.seed,
             population: cfg.population.clone(),
             tch_capacity: cfg.tch_capacity,
@@ -122,9 +152,12 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
         .collect();
 
     let started = Instant::now();
-    let results: Mutex<Vec<Option<ShardReport>>> = Mutex::new(vec![None; shards]);
+
+    // Phase 1: build every shard's world and register its population
+    // (parallel; shards are independent until their busy hours start).
+    let slots: Vec<Mutex<Option<EpochSlot>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let worker = |_t: usize| loop {
+    run_pool(threads, |_t| loop {
         let index = next.fetch_add(1, Ordering::Relaxed);
         let Some(shard_cfg) = shard_cfgs.get(index) else {
             break;
@@ -132,27 +165,74 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
         let plans: Vec<SubscriberPlan> = (0..shard_cfg.subscribers)
             .map(|i| subscriber_plan(&cfg.population, cfg.seed, shard_cfg.base_index + i))
             .collect();
-        let report = run_shard(shard_cfg, &plans);
-        results.lock().expect("no panics while holding the lock")[index] = Some(report);
-    };
-    if threads == 1 {
-        worker(0);
-    } else {
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let worker = &worker;
-                scope.spawn(move || worker(t));
-            }
+        *slots[index].lock().expect("no panics while holding the lock") = Some(EpochSlot {
+            shard: Shard::new(shard_cfg, &plans),
+            inbox: Vec::new(),
+            outbox: Vec::new(),
         });
+    });
+
+    // Phase 2: epoch lockstep. Each epoch every busy shard simulates the
+    // same window, then the barrier routes cross-shard flits (sent epoch
+    // k, delivered epoch k+1) and the HLR directory tracks ownership.
+    let mut mailbox = Mailbox::new(shards);
+    let mut directory = HlrDirectory::new(&parts);
+    let mut epoch: u64 = 0;
+    loop {
+        let mut busy = mailbox.in_flight() > 0;
+        let mut cap = 0;
+        for (index, slot) in slots.iter().enumerate() {
+            let mut s = slot.lock().expect("no panics while holding the lock");
+            let s = s.as_mut().expect("phase 1 built every shard");
+            s.inbox = mailbox.take_inbox(index);
+            busy |= s.shard.is_busy() || !s.inbox.is_empty();
+            cap = cap.max(s.shard.max_epoch_hint());
+        }
+        if !busy || epoch > cap {
+            // Done — or the runaway backstop tripped, in which case the
+            // shards still busy count `load.drain_capped` on finish.
+            break;
+        }
+        let next = AtomicUsize::new(0);
+        run_pool(threads, |_t| loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = slots.get(index) else {
+                break;
+            };
+            let mut s = slot.lock().expect("no panics while holding the lock");
+            let s = s.as_mut().expect("phase 1 built every shard");
+            let inbox = std::mem::take(&mut s.inbox);
+            s.outbox = s.shard.run_epoch(epoch, inbox);
+        });
+        // Barrier: route in shard order so delivery order never depends
+        // on which thread finished first.
+        for (index, slot) in slots.iter().enumerate() {
+            let mut s = slot.lock().expect("no panics while holding the lock");
+            let s = s.as_mut().expect("phase 1 built every shard");
+            let outbox = std::mem::take(&mut s.outbox);
+            for env in &outbox {
+                directory.observe(index, env);
+            }
+            mailbox.post(index, outbox);
+        }
+        epoch += 1;
     }
     let wall = started.elapsed();
 
-    let reports: Vec<ShardReport> = results
-        .into_inner()
-        .expect("all workers joined")
+    // Phase 3: seal shards in index order and merge.
+    let mut reports: Vec<ShardReport> = slots
         .into_iter()
-        .map(|r| r.expect("every shard ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("all workers joined")
+                .expect("every shard ran")
+                .shard
+                .finish()
+        })
         .collect();
+    reports[0]
+        .stats
+        .count_by("load.hlr_relocations", directory.relocations());
     LoadReport::merge(cfg.subscribers, threads, &reports, wall)
 }
 

@@ -12,11 +12,14 @@
 //!   Every subscriber's behavior derives from the master seed and the
 //!   subscriber's global index alone, so it is invariant under
 //!   re-partitioning.
-//! - [`shard`] + [`engine`] — the population is split across independent
-//!   vGPRS serving-area pairs (built with `vgprs_core::VgprsZone`), one
-//!   `vgprs_sim::Network` per shard, executed by a thread pool. Shard
-//!   seeds derive from the master seed, and shard results merge in shard
-//!   order, so a run is **bit-identical regardless of thread count**.
+//! - [`shard`] + [`engine`] + [`mailbox`] — the population is split
+//!   across vGPRS serving-area pairs (built with
+//!   `vgprs_core::VgprsZone`), one `vgprs_sim::Network` per shard,
+//!   advanced in **epoch lockstep** by a thread pool. Shards exchange
+//!   traffic — inter-VMSC handoff dialogue, trunk voice, idle-mode HLR
+//!   ownership moves — through a sequenced inter-shard mailbox whose
+//!   delivery order depends only on the configuration and seed, so a
+//!   run is **bit-identical regardless of thread count**.
 //! - [`report`] — streaming KPIs merged from the shards' O(buckets)
 //!   histograms: call-setup delay, paging latency, voice-PDP activation
 //!   time, blocking/reject rates, RTP frame delay/loss scored through
@@ -38,14 +41,18 @@
 
 pub mod capacity;
 pub mod engine;
+pub mod mailbox;
 pub mod population;
 pub mod report;
 pub mod shard;
 
 pub use capacity::{capacity_sweep, CapacityPoint, CapacitySweep};
 pub use engine::{partition, run_load, LoadConfig};
+pub use mailbox::{
+    Envelope, Flit, HlrDirectory, Mailbox, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS,
+};
 pub use population::{
     subscriber_plan, Arrival, CallKind, CallMix, Excursion, PopulationConfig, SubscriberPlan,
 };
 pub use report::LoadReport;
-pub use shard::{run_shard, ShardConfig, ShardReport};
+pub use shard::{run_shard, Shard, ShardConfig, ShardReport};

@@ -77,6 +77,12 @@ pub struct PopulationConfig {
     /// Fraction of subscribers that make one idle-mode excursion to the
     /// neighboring location area during the window.
     pub mobility_fraction: f64,
+    /// Fraction of subscribers whose excursion leaves their home shard
+    /// entirely: the trip targets another shard's serving area, crossing
+    /// the inter-shard mailbox (idle-mode HLR ownership transfer, or an
+    /// inter-VMSC handoff if the trip lands mid-call). A subscriber
+    /// selected here that has no excursion gets one synthesized.
+    pub cross_shard_fraction: f64,
 }
 
 impl Default for PopulationConfig {
@@ -88,6 +94,7 @@ impl Default for PopulationConfig {
             window_secs: 60,
             mix: CallMix::default(),
             mobility_fraction: 0.05,
+            cross_shard_fraction: 0.0,
         }
     }
 }
@@ -113,6 +120,10 @@ pub struct Excursion {
     pub out_ms: u64,
     /// When it returns to the home cell, ms.
     pub back_ms: u64,
+    /// `Some(draw)` when the trip leaves the home shard; the shard maps
+    /// the raw draw onto a destination shard index (the plan itself must
+    /// stay independent of shard topology).
+    pub cross_shard: Option<u64>,
 }
 
 /// Everything one subscriber will do during the window.
@@ -165,9 +176,30 @@ pub fn subscriber_plan(
         Some(Excursion {
             out_ms: (out * 1000.0) as u64,
             back_ms: ((out + stay) * 1000.0) as u64,
+            cross_shard: None,
         })
     } else {
         None
+    };
+    let excursion = if cfg.cross_shard_fraction > 0.0 && mobility.chance(cfg.cross_shard_fraction) {
+        let draw = mobility.next_u64();
+        match excursion {
+            Some(e) => Some(Excursion {
+                cross_shard: Some(draw),
+                ..e
+            }),
+            None => {
+                let out = mobility.uniform() * window * 0.7;
+                let stay = 5.0 + mobility.exponential(window * 0.1);
+                Some(Excursion {
+                    out_ms: (out * 1000.0) as u64,
+                    back_ms: ((out + stay) * 1000.0) as u64,
+                    cross_shard: Some(draw),
+                })
+            }
+        }
+    } else {
+        excursion
     };
 
     SubscriberPlan {
@@ -237,6 +269,53 @@ mod tests {
             for a in subscriber_plan(&cfg, 3, g).arrivals {
                 assert!(a.hold_ms >= (cfg.min_hold_secs * 1000.0) as u64);
             }
+        }
+    }
+
+    #[test]
+    fn cross_shard_rate_zero_leaves_plans_unchanged() {
+        let cfg = PopulationConfig {
+            mobility_fraction: 0.5,
+            ..PopulationConfig::default()
+        };
+        for g in 0..50 {
+            let p = subscriber_plan(&cfg, 42, g);
+            assert!(p.excursion.is_none_or(|e| e.cross_shard.is_none()));
+        }
+    }
+
+    #[test]
+    fn cross_shard_fraction_marks_excursions() {
+        let cfg = PopulationConfig {
+            mobility_fraction: 0.0,
+            cross_shard_fraction: 1.0,
+            ..PopulationConfig::default()
+        };
+        // Even subscribers with no idle-mobility excursion get one
+        // synthesized when selected for a cross-shard trip.
+        for g in 0..50 {
+            let e = subscriber_plan(&cfg, 42, g)
+                .excursion
+                .expect("cross-shard trip synthesized");
+            assert!(e.cross_shard.is_some());
+            assert!(e.back_ms > e.out_ms, "trip must have positive stay");
+        }
+    }
+
+    #[test]
+    fn cross_shard_draws_are_reproducible() {
+        let cfg = PopulationConfig {
+            mobility_fraction: 0.3,
+            cross_shard_fraction: 0.4,
+            ..PopulationConfig::default()
+        };
+        for g in [0usize, 11, 512] {
+            let a = subscriber_plan(&cfg, 9, g);
+            let b = subscriber_plan(&cfg, 9, g);
+            assert_eq!(
+                a.excursion.map(|e| (e.out_ms, e.back_ms, e.cross_shard)),
+                b.excursion.map(|e| (e.out_ms, e.back_ms, e.cross_shard)),
+            );
         }
     }
 

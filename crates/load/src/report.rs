@@ -95,6 +95,42 @@ impl LoadReport {
         self.merged_histogram(&["ms.voice_e2e_ms", "term.voice_e2e_ms"])
     }
 
+    /// Inter-VMSC (cross-shard) handoffs the anchor VMSCs initiated.
+    pub fn handoff_attempts(&self) -> u64 {
+        self.counter("load.handoff_attempts")
+    }
+
+    /// Handoffs that completed the full Figure 9 ladder (the anchor
+    /// acknowledged `MAP Send End Signal`).
+    pub fn handoff_successes(&self) -> u64 {
+        self.counter("load.handoff_success")
+    }
+
+    /// Handoffs that started a MAP dialogue but never closed it — the
+    /// call ended (or the window did) mid-ladder.
+    pub fn handoff_drops(&self) -> u64 {
+        self.handoff_attempts()
+            .saturating_sub(self.handoff_successes())
+    }
+
+    /// Voice interruption during handoff: handover-complete on the
+    /// target cell to the first downlink frame arriving there.
+    pub fn handoff_interruption(&self) -> Histogram {
+        self.merged_histogram(&["load.handoff_interruption_ms"])
+    }
+
+    /// Downlink frames that chased the subscriber to a cell it had
+    /// already left (mid-handoff loss, discarded by the handset).
+    pub fn handoff_frame_loss(&self) -> u64 {
+        self.counter("ms.ignored_stale_cell")
+    }
+
+    /// Idle-mode HLR ownership moves between shards (each direction of
+    /// a round trip counts once).
+    pub fn hlr_relocations(&self) -> u64 {
+        self.counter("load.hlr_relocations")
+    }
+
     fn merged_histogram(&self, names: &[&str]) -> Histogram {
         let mut out = Histogram::new();
         for n in names {
@@ -226,6 +262,27 @@ impl LoadReport {
             "mobility              : {} reselections, {} in-call handoffs",
             self.counter("load.moves"),
             self.counter("ms.handoffs")
+        ));
+        line(format!(
+            "cross-shard handoffs  : {} attempted, {} completed, {} dropped",
+            self.handoff_attempts(),
+            self.handoff_successes(),
+            self.handoff_drops()
+        ));
+        let interruption = self.handoff_interruption();
+        line(format!(
+            "handoff interruption  : p50 {:.1} ms, p99 {:.1} ms (n={})",
+            interruption.percentile(50.0),
+            interruption.percentile(99.0),
+            interruption.count()
+        ));
+        line(format!(
+            "handoff frame loss    : {} frames at stale cells",
+            self.handoff_frame_loss()
+        ));
+        line(format!(
+            "HLR relocations       : {}",
+            self.hlr_relocations()
         ));
         line(format!(
             "events                : {} over {:.1} simulated s",

@@ -8,15 +8,30 @@
 //! attempts become `Dial` commands, holds become scheduled `Hangup`s,
 //! and mobility excursions become idle-mode cell reselections (or
 //! in-call handoffs, if an excursion lands mid-call).
+//!
+//! Shards no longer run to completion independently: [`Shard`] exposes
+//! an epoch-at-a-time interface ([`Shard::run_epoch`]) so the engine can
+//! run every shard in lockstep and exchange cross-shard traffic through
+//! the [`crate::mailbox`] at each barrier. A subscriber whose excursion
+//! carries a `cross_shard` draw leaves the shard entirely: idle-mode
+//! trips transfer HLR record ownership to the destination shard, and
+//! trips that land mid-call drive the paper's Figure 9 inter-VMSC
+//! handoff across the shard boundary — the home VMSC anchors the H.323
+//! leg while the destination VMSC takes the radio leg over the E-trunk
+//! gate.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use vgprs_core::{VgprsZone, VgprsZoneConfig, Vmsc};
-use vgprs_gsm::{Bts, MobileStation, Vlr};
+use vgprs_gsm::{Bts, Hlr, MobileStation, Vlr};
 use vgprs_sim::{Interface, Network, NodeId, SimDuration, SimRng, SimTime, Stats};
-use vgprs_wire::{CallId, CellId, Command, Imsi, Ipv4Addr, Lai, Message, Msisdn, TransportAddr};
+use vgprs_wire::{
+    CallId, CellId, Command, ConnRef, Dtap, Imsi, Ipv4Addr, Lai, MapMessage, Message, Msisdn,
+    SubscriberProfile, TransportAddr,
+};
 
+use crate::mailbox::{Envelope, Flit, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS};
 use crate::population::{Arrival, CallKind, PopulationConfig, SubscriberPlan};
 
 /// Stream-class salt for per-shard network seeds.
@@ -25,6 +40,28 @@ const STREAM_SHARD: u64 = 0x1656_67B1_9E37_79F9;
 /// Answer delay plus setup slack: voice is up by this long after a
 /// dial that connects (both endpoint types auto-answer after 2 s).
 const CONNECT_GRACE_MS: u64 = 3_000;
+
+/// A cross-shard trip landing mid-call only hands off when the call is
+/// safely established and has at least this long left before the
+/// scheduled hangup — otherwise the mover stays home (a real handset
+/// would finish the call on the old cell's fading channel).
+const HANDOFF_TAIL_US: u64 = 2_000_000;
+
+/// Idle-mode crossings keep this much distance from the previous call's
+/// teardown so the HLR transfer never races an active transaction.
+const POST_CALL_SETTLE_US: u64 = 2_000_000;
+
+/// A mover still on a handed-off call when its return is due goes home
+/// this long after the hangup instead.
+const RETURN_DELAY_MS: u64 = 3_000;
+
+/// How long voice flows on both legs around an in-call handoff before
+/// the driver mutes it again (samples the interruption gap).
+const HANDOFF_VOICE_MS: u64 = 2_500;
+
+/// Visitor radio legs get connection references far above anything the
+/// shard's own BSCs allocate.
+const VISITOR_CONN_BASE: u32 = 0x8000_0000;
 
 /// Everything a shard needs to build and drive its world.
 #[derive(Clone, Debug)]
@@ -35,6 +72,9 @@ pub struct ShardConfig {
     pub base_index: usize,
     /// How many subscribers live in this shard.
     pub subscribers: usize,
+    /// How many shards the whole run has (cross-shard trips resolve
+    /// their destination against this; `1` disables them).
+    pub total_shards: usize,
     /// The run's master seed.
     pub master_seed: u64,
     /// Shared population behavior.
@@ -69,10 +109,24 @@ pub struct ShardReport {
 
 /// Driver-scheduled actions, totally ordered by `(time, sequence)`.
 enum Action {
-    Attempt { local: usize, arrival: Arrival },
-    Hangup { node: NodeId },
-    Mute { a: NodeId, b: NodeId },
-    Move { local: usize, cell: CellId },
+    Attempt {
+        local: usize,
+        arrival: Arrival,
+    },
+    Hangup {
+        node: NodeId,
+        peer: NodeId,
+        local: usize,
+        peer_local: Option<usize>,
+    },
+    Mute {
+        a: NodeId,
+        b: NodeId,
+    },
+    Move {
+        local: usize,
+        cell: CellId,
+    },
 }
 
 struct Sched {
@@ -107,6 +161,26 @@ struct Subscriber {
     /// Driver-side busy window: suppress attempts that land inside an
     /// earlier call (the generator models a handset, not a trunk).
     busy_until_us: u64,
+    /// When the current busy window's call was dialed.
+    call_started_us: u64,
+    /// The far party of the current call, for driving both ends of a
+    /// handed-off call's teardown.
+    current_peer: Option<NodeId>,
+    /// Destination shard of this subscriber's cross-shard trip, if any.
+    cross_target: Option<usize>,
+    /// Currently outside the home shard (attempts are suppressed).
+    away: bool,
+    /// Away *mid-call*: radio leg lives at the destination VMSC, the
+    /// H.323 leg stays anchored here. The HLR record does not move.
+    handed_off: bool,
+    /// Return fell due while the handed-off call was still up; go home
+    /// shortly after the hangup instead.
+    pending_return: bool,
+}
+
+/// An outbound (anchored) handoff leg: our subscriber, their radio.
+struct AnchoredLeg {
+    target_shard: usize,
 }
 
 /// Deterministic identity helpers shared with the rest of the crate.
@@ -124,219 +198,849 @@ pub fn alias_for(global: usize) -> Msisdn {
     Msisdn::parse(&format!("88622{global:07}")).expect("generated alias is valid")
 }
 
-/// Builds the shard's world, replays its population slice and returns
-/// the merged evidence.
-pub fn run_shard(cfg: &ShardConfig, plans: &[SubscriberPlan]) -> ShardReport {
-    assert_eq!(plans.len(), cfg.subscribers, "one plan per subscriber");
-    let seed = SimRng::derive(cfg.master_seed, STREAM_SHARD.wrapping_add(cfg.shard_index as u64))
-        .next_u64();
-    let mut net = Network::new(seed);
-    net.set_trace_details(false);
-    let mut events: u64 = 0;
+/// The subscriber's global index recovered from a generated IMSI.
+fn global_of(imsi: &Imsi) -> Option<usize> {
+    imsi.digits().get(6..)?.parse().ok()
+}
 
-    // Home serving area plus a neighbor for mobility. Shards are
-    // separate networks, so every shard can reuse the same addressing.
-    let mut home = VgprsZone::build(
-        &mut net,
-        VgprsZoneConfig {
-            name: format!("s{}", cfg.shard_index),
-            tch_capacity: cfg.tch_capacity,
-            pdch_bps: cfg.pdch_bps,
-            gk_bandwidth: cfg.gk_bandwidth,
-            ..VgprsZoneConfig::taiwan()
-        },
-    );
-    let neighbor = VgprsZone::build(
-        &mut net,
-        VgprsZoneConfig {
-            name: format!("s{}n", cfg.shard_index),
-            lai: Lai::new(466, 92, 2),
-            cell: CellId(2),
-            msrn_prefix: "8869991".into(),
-            pool: (Ipv4Addr::from_octets(10, 201, 0, 0), 16),
-            gk_addr: TransportAddr::new(Ipv4Addr::from_octets(10, 2, 0, 2), 1719),
-            tch_capacity: cfg.tch_capacity,
-            pdch_bps: cfg.pdch_bps,
-            gk_bandwidth: cfg.gk_bandwidth,
-            ..VgprsZoneConfig::taiwan()
-        },
-    );
-    // One operator, one HLR: the neighbor VLR resolves home IMSIs at
-    // the home HLR, and the VMSCs are handoff peers in both directions.
-    net.connect(
-        neighbor.vlr,
-        home.hlr,
-        Interface::D,
-        home.latency.ss7,
-    );
-    net.node_mut::<Vlr>(neighbor.vlr)
-        .expect("neighbor VLR")
-        .add_hlr_route("466", home.hlr);
-    net.connect(home.vmsc, neighbor.vmsc, Interface::E, home.latency.e);
-    net.node_mut::<Vmsc>(home.vmsc)
-        .expect("home VMSC")
-        .add_neighbor_cell(neighbor.cell, neighbor.vmsc);
-    net.node_mut::<Vmsc>(neighbor.vmsc)
-        .expect("neighbor VMSC")
-        .add_neighbor_cell(home.cell, home.vmsc);
+/// One shard mid-flight: built world, pending actions, cross-shard
+/// bookkeeping. Drive it with [`Shard::run_epoch`] until
+/// [`Shard::is_busy`] clears, then [`Shard::finish`].
+pub struct Shard {
+    cfg: ShardConfig,
+    net: Network<Message>,
+    events: u64,
+    registered: usize,
+    t0_us: u64,
+    home_hlr: NodeId,
+    home_cell: CellId,
+    trunk_gate: NodeId,
+    radio_gate: NodeId,
+    subs: Vec<Subscriber>,
+    ms_index: HashMap<NodeId, usize>,
+    heap: BinaryHeap<Sched>,
+    seq: u64,
+    next_call: u64,
+    max_sched_us: u64,
+    // Cross-shard state.
+    anchored: HashMap<CallId, AnchoredLeg>,
+    call_src: HashMap<CallId, usize>,
+    visitor_conns: HashMap<usize, ConnRef>,
+    conn_globals: HashMap<ConnRef, (usize, usize)>,
+    next_visitor_conn: u32,
+    pending_um: Vec<(NodeId, Dtap)>,
+    pending_interrupt: HashMap<usize, u64>,
+    outbox: Vec<Envelope>,
+}
 
-    let mut subs = Vec::with_capacity(cfg.subscribers);
-    for (local, plan) in plans.iter().enumerate() {
-        let g = plan.global_index;
-        let msisdn = msisdn_for(g);
-        let alias = alias_for(g);
-        let ms = home.add_subscriber(
+impl Shard {
+    /// Builds the shard's world and registers its population. The
+    /// returned shard sits at its busy-hour t0, ready for epoch 0.
+    pub fn new(cfg: &ShardConfig, plans: &[SubscriberPlan]) -> Shard {
+        assert_eq!(plans.len(), cfg.subscribers, "one plan per subscriber");
+        let seed =
+            SimRng::derive(cfg.master_seed, STREAM_SHARD.wrapping_add(cfg.shard_index as u64))
+                .next_u64();
+        let mut net = Network::new(seed);
+        net.set_trace_details(false);
+        net.set_trace_capture(false);
+        let mut events: u64 = 0;
+
+        // Home serving area plus a neighbor for mobility. Shards are
+        // separate networks, so every shard can reuse the same addressing.
+        let mut home = VgprsZone::build(
             &mut net,
-            &format!("ms{g}"),
-            imsi_for(g),
-            0x5000 + g as u64,
-            msisdn,
+            VgprsZoneConfig {
+                name: format!("s{}", cfg.shard_index),
+                tch_capacity: cfg.tch_capacity,
+                pdch_bps: cfg.pdch_bps,
+                gk_bandwidth: cfg.gk_bandwidth,
+                ..VgprsZoneConfig::taiwan()
+            },
         );
-        let terminal = home.add_terminal(&mut net, &format!("t{g}"), alias);
-        if plan.excursion.is_some() {
-            // Movers can also camp on (and hand off to) the neighbor.
-            net.connect(ms, neighbor.bts, Interface::Um, home.latency.um);
-            net.node_mut::<Bts>(neighbor.bts)
-                .expect("neighbor BTS")
-                .register_ms(ms);
-            let m = net.node_mut::<MobileStation>(ms).expect("new MS");
-            m.add_neighbor(neighbor.cell, neighbor.bts);
-            m.add_neighbor(home.cell, home.bts);
+        let neighbor = VgprsZone::build(
+            &mut net,
+            VgprsZoneConfig {
+                name: format!("s{}n", cfg.shard_index),
+                lai: Lai::new(466, 92, 2),
+                cell: CellId(2),
+                msrn_prefix: "8869991".into(),
+                pool: (Ipv4Addr::from_octets(10, 201, 0, 0), 16),
+                gk_addr: TransportAddr::new(Ipv4Addr::from_octets(10, 2, 0, 2), 1719),
+                tch_capacity: cfg.tch_capacity,
+                pdch_bps: cfg.pdch_bps,
+                gk_bandwidth: cfg.gk_bandwidth,
+                ..VgprsZoneConfig::taiwan()
+            },
+        );
+        // One operator, one HLR: the neighbor VLR resolves home IMSIs at
+        // the home HLR, and the VMSCs are handoff peers in both directions.
+        net.connect(neighbor.vlr, home.hlr, Interface::D, home.latency.ss7);
+        net.node_mut::<Vlr>(neighbor.vlr)
+            .expect("neighbor VLR")
+            .add_hlr_route("466", home.hlr);
+        net.connect(home.vmsc, neighbor.vmsc, Interface::E, home.latency.e);
+        net.node_mut::<Vmsc>(home.vmsc)
+            .expect("home VMSC")
+            .add_neighbor_cell(neighbor.cell, neighbor.vmsc);
+        net.node_mut::<Vmsc>(neighbor.vmsc)
+            .expect("neighbor VMSC")
+            .add_neighbor_cell(home.cell, home.vmsc);
+
+        // The cross-shard gates: an E-trunk "neighbor VMSC" serving the
+        // border cell, and the border cell's radio infrastructure.
+        let trunk_gate = net.add_node(
+            &format!("s{}.xgate-e", cfg.shard_index),
+            TrunkGate::new(home.vmsc),
+        );
+        net.connect(trunk_gate, home.vmsc, Interface::E, home.latency.e);
+        net.node_mut::<Vmsc>(home.vmsc)
+            .expect("home VMSC")
+            .add_neighbor_cell(BORDER_CELL, trunk_gate);
+        let radio_gate = net.add_node(
+            &format!("s{}.xgate-a", cfg.shard_index),
+            RadioGate::new(home.vmsc),
+        );
+        net.connect(radio_gate, home.vmsc, Interface::A, home.latency.a);
+
+        let mut subs = Vec::with_capacity(cfg.subscribers);
+        let mut ms_index = HashMap::new();
+        for (local, plan) in plans.iter().enumerate() {
+            let g = plan.global_index;
+            let msisdn = msisdn_for(g);
+            let alias = alias_for(g);
+            let ms = home.add_subscriber(
+                &mut net,
+                &format!("ms{g}"),
+                imsi_for(g),
+                0x5000 + g as u64,
+                msisdn,
+            );
+            let terminal = home.add_terminal(&mut net, &format!("t{g}"), alias);
+            let cross_draw = plan
+                .excursion
+                .and_then(|e| e.cross_shard)
+                .filter(|_| cfg.total_shards > 1);
+            let cross_target = cross_draw.map(|draw| {
+                let d = (draw % (cfg.total_shards as u64 - 1)) as usize;
+                if d >= cfg.shard_index {
+                    d + 1
+                } else {
+                    d
+                }
+            });
+            if cross_target.is_some() {
+                // Cross-shard movers camp on the border cell while away.
+                net.connect(ms, radio_gate, Interface::Um, home.latency.um);
+                let m = net.node_mut::<MobileStation>(ms).expect("new MS");
+                m.add_neighbor(BORDER_CELL, radio_gate);
+                m.add_neighbor(home.cell, home.bts);
+            } else if plan.excursion.is_some() {
+                // Movers can also camp on (and hand off to) the neighbor.
+                net.connect(ms, neighbor.bts, Interface::Um, home.latency.um);
+                net.node_mut::<Bts>(neighbor.bts)
+                    .expect("neighbor BTS")
+                    .register_ms(ms);
+                let m = net.node_mut::<MobileStation>(ms).expect("new MS");
+                m.add_neighbor(neighbor.cell, neighbor.bts);
+                m.add_neighbor(home.cell, home.bts);
+            }
+            net.inject(
+                SimDuration::from_millis(local as u64 * 7),
+                ms,
+                Message::Cmd(Command::PowerOn),
+            );
+            ms_index.insert(ms, local);
+            subs.push(Subscriber {
+                ms,
+                terminal,
+                msisdn,
+                alias,
+                busy_until_us: 0,
+                call_started_us: 0,
+                current_peer: None,
+                cross_target,
+                away: false,
+                handed_off: false,
+                pending_return: false,
+            });
         }
-        net.inject(
-            SimDuration::from_millis(local as u64 * 7),
-            ms,
-            Message::Cmd(Command::PowerOn),
-        );
-        subs.push(Subscriber {
-            ms,
-            terminal,
-            msisdn,
-            alias,
-            busy_until_us: 0,
-        });
+
+        let outcome = net.run_until_quiescent();
+        events += outcome.events;
+        let registered = net
+            .node::<Vmsc>(home.vmsc)
+            .expect("home VMSC")
+            .registered_count();
+
+        // The busy-hour window starts once registration has settled.
+        let t0_us = net.now().as_micros();
+        let mut shard = Shard {
+            cfg: cfg.clone(),
+            net,
+            events,
+            registered,
+            t0_us,
+            home_hlr: home.hlr,
+            home_cell: home.cell,
+            trunk_gate,
+            radio_gate,
+            subs,
+            ms_index,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_call: 1,
+            max_sched_us: 0,
+            anchored: HashMap::new(),
+            call_src: HashMap::new(),
+            visitor_conns: HashMap::new(),
+            conn_globals: HashMap::new(),
+            next_visitor_conn: 0,
+            pending_um: Vec::new(),
+            pending_interrupt: HashMap::new(),
+            outbox: Vec::new(),
+        };
+        for (local, plan) in plans.iter().enumerate() {
+            for &arrival in &plan.arrivals {
+                shard.push(arrival.at_ms, Action::Attempt { local, arrival });
+            }
+            if let Some(e) = plan.excursion {
+                let out_cell = if shard.subs[local].cross_target.is_some() {
+                    BORDER_CELL
+                } else {
+                    neighbor.cell
+                };
+                shard.push(e.out_ms, Action::Move { local, cell: out_cell });
+                shard.push(e.back_ms, Action::Move { local, cell: home.cell });
+            }
+        }
+        shard
     }
 
-    let outcome = net.run_until_quiescent();
-    events += outcome.events;
-    let registered = net
-        .node::<Vmsc>(home.vmsc)
-        .expect("home VMSC")
-        .registered_count();
-
-    // The busy-hour window starts once registration has settled.
-    let t0_us = net.now().as_micros();
-    let mut heap = BinaryHeap::new();
-    let mut seq: u64 = 0;
-    let push = |heap: &mut BinaryHeap<Sched>, seq: &mut u64, at_ms: u64, action: Action| {
-        heap.push(Sched {
-            at_us: at_ms * 1000,
-            seq: *seq,
+    fn push(&mut self, at_ms: u64, action: Action) {
+        let at_us = at_ms * 1000;
+        self.max_sched_us = self.max_sched_us.max(at_us);
+        self.heap.push(Sched {
+            at_us,
+            seq: self.seq,
             action,
         });
-        *seq += 1;
-    };
-    for (local, plan) in plans.iter().enumerate() {
-        for &arrival in &plan.arrivals {
-            push(&mut heap, &mut seq, arrival.at_ms, Action::Attempt { local, arrival });
-        }
-        if let Some(e) = plan.excursion {
-            push(&mut heap, &mut seq, e.out_ms, Action::Move { local, cell: neighbor.cell });
-            push(&mut heap, &mut seq, e.back_ms, Action::Move { local, cell: home.cell });
-        }
+        self.seq += 1;
     }
 
-    let mut next_call: u64 = 1;
-    while let Some(Sched { at_us, action, .. }) = heap.pop() {
-        let outcome = net.run_until(SimTime::from_micros(t0_us + at_us));
-        events += outcome.events;
-        match action {
-            Action::Attempt { local, arrival } => {
-                net.stats_mut().count("load.attempts");
-                if at_us < subs[local].busy_until_us {
-                    net.stats_mut().count("load.busy_skipped");
-                    continue;
-                }
-                let (orig, called, peer) = match arrival.kind {
-                    CallKind::MoToTerminal => {
-                        (subs[local].ms, subs[local].alias, subs[local].terminal)
-                    }
-                    CallKind::MtFromTerminal => {
-                        (subs[local].terminal, subs[local].msisdn, subs[local].ms)
-                    }
-                    CallKind::MsToMs => {
-                        if cfg.subscribers < 2 {
-                            net.stats_mut().count("load.no_peer_available");
-                            continue;
-                        }
-                        let mut p = (arrival.peer_draw % (cfg.subscribers as u64 - 1)) as usize;
-                        if p >= local {
-                            p += 1;
-                        }
-                        if at_us < subs[p].busy_until_us {
-                            net.stats_mut().count("load.busy_skipped");
-                            continue;
-                        }
-                        subs[p].busy_until_us = at_us + arrival.hold_ms * 1000;
-                        (subs[local].ms, subs[p].msisdn, subs[p].ms)
-                    }
-                };
-                subs[local].busy_until_us = at_us + arrival.hold_ms * 1000;
-                let call = CallId((cfg.base_index as u64) << 32 | next_call);
-                next_call += 1;
-                net.inject(
-                    SimDuration::ZERO,
-                    orig,
-                    Message::Cmd(Command::Dial { call, called }),
-                );
-                let at_ms = at_us / 1000;
-                let mute_ms = CONNECT_GRACE_MS + cfg.voice_sample_ms;
-                if mute_ms < arrival.hold_ms {
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        at_ms + mute_ms,
-                        Action::Mute { a: orig, b: peer },
-                    );
-                }
-                push(
-                    &mut heap,
-                    &mut seq,
-                    at_ms + arrival.hold_ms,
-                    Action::Hangup { node: orig },
-                );
+    /// More work to do: scheduled actions, queued sim events, or
+    /// downlink waiting for the next epoch.
+    pub fn is_busy(&self) -> bool {
+        !self.heap.is_empty() || self.net.pending_events() > 0 || !self.pending_um.is_empty()
+    }
+
+    /// An upper bound (in epochs) on how long this shard can legally
+    /// stay busy: its last scheduled action plus a generous teardown
+    /// allowance. The engine uses the fleet-wide maximum as a runaway
+    /// backstop.
+    pub fn max_epoch_hint(&self) -> u64 {
+        const DRAIN_EPOCHS: u64 = 1_200; // 60 s of post-window teardown
+        self.max_sched_us / (EPOCH_MS * 1000) + DRAIN_EPOCHS
+    }
+
+    /// Runs one lockstep epoch: delivers the barrier's inbox, replays
+    /// the window's scheduled actions that fall inside the epoch, and
+    /// returns the envelopes to exchange at the next barrier.
+    pub fn run_epoch(&mut self, epoch: u64, inbox: Vec<(usize, Flit)>) -> Vec<Envelope> {
+        let end_rel_us = (epoch + 1) * EPOCH_MS * 1000;
+
+        // Downlink queued for local handsets — synthesized LU answers
+        // from the previous epoch plus everything the barrier brought.
+        let mut um_batch = std::mem::take(&mut self.pending_um);
+        for (from_shard, flit) in inbox {
+            self.deliver_flit(from_shard, flit, &mut um_batch);
+        }
+        if !um_batch.is_empty() {
+            let gate = self
+                .net
+                .node_mut::<RadioGate>(self.radio_gate)
+                .expect("radio gate");
+            for (ms, dtap) in um_batch {
+                gate.queue_um(ms, dtap);
             }
-            Action::Hangup { node } => {
-                net.inject(SimDuration::ZERO, node, Message::Cmd(Command::Hangup));
+            // Kick: any internal non-A message flushes the queue.
+            self.net.inject(
+                SimDuration::ZERO,
+                self.radio_gate,
+                Message::Cmd(Command::StartTalking),
+            );
+        }
+
+        while self
+            .heap
+            .peek()
+            .is_some_and(|s| s.at_us < end_rel_us)
+        {
+            let Sched { at_us, action, .. } = self.heap.pop().expect("peeked");
+            let outcome = self.net.run_until(SimTime::from_micros(self.t0_us + at_us));
+            self.events += outcome.events;
+            self.handle_action(at_us, action);
+        }
+        let outcome = self
+            .net
+            .run_until(SimTime::from_micros(self.t0_us + end_rel_us));
+        self.events += outcome.events;
+
+        self.drain_gates();
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn handle_action(&mut self, at_us: u64, action: Action) {
+        match action {
+            Action::Attempt { local, arrival } => self.attempt(local, at_us, arrival),
+            Action::Hangup {
+                node,
+                peer,
+                local,
+                peer_local,
+            } => {
+                self.net
+                    .inject(SimDuration::ZERO, node, Message::Cmd(Command::Hangup));
+                let crossed = self.subs[local].handed_off
+                    || peer_local.is_some_and(|p| self.subs[p].handed_off);
+                if crossed {
+                    // The anchor's release toward the old radio channel
+                    // never reaches a handset that left the cell; drive
+                    // the far end explicitly so both legs tear down.
+                    self.net
+                        .inject(SimDuration::ZERO, peer, Message::Cmd(Command::Hangup));
+                    self.net.stats_mut().count("load.handoff_teardowns");
+                }
+                for l in [Some(local), peer_local].into_iter().flatten() {
+                    self.subs[l].current_peer = None;
+                    self.pending_interrupt.remove(&l);
+                    if self.subs[l].pending_return {
+                        self.subs[l].pending_return = false;
+                        self.push(
+                            at_us / 1000 + RETURN_DELAY_MS,
+                            Action::Move {
+                                local: l,
+                                cell: self.home_cell,
+                            },
+                        );
+                    }
+                }
             }
             Action::Mute { a, b } => {
-                net.inject(SimDuration::ZERO, a, Message::Cmd(Command::StopTalking));
-                net.inject(SimDuration::ZERO, b, Message::Cmd(Command::StopTalking));
+                self.net
+                    .inject(SimDuration::ZERO, a, Message::Cmd(Command::StopTalking));
+                self.net
+                    .inject(SimDuration::ZERO, b, Message::Cmd(Command::StopTalking));
             }
             Action::Move { local, cell } => {
-                net.stats_mut().count("load.moves");
-                net.inject(
+                if cell == BORDER_CELL {
+                    self.cross_out(local, at_us);
+                } else if self.subs[local].away {
+                    self.cross_back(local, at_us);
+                } else {
+                    self.net.stats_mut().count("load.moves");
+                    self.net.inject(
+                        SimDuration::ZERO,
+                        self.subs[local].ms,
+                        Message::Cmd(Command::MoveToCell { cell }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn attempt(&mut self, local: usize, at_us: u64, arrival: Arrival) {
+        self.net.stats_mut().count("load.attempts");
+        if self.subs[local].away {
+            self.net.stats_mut().count("load.away_skipped");
+            return;
+        }
+        if at_us < self.subs[local].busy_until_us {
+            self.net.stats_mut().count("load.busy_skipped");
+            return;
+        }
+        let (orig, called, peer, peer_local) = match arrival.kind {
+            CallKind::MoToTerminal => (
+                self.subs[local].ms,
+                self.subs[local].alias,
+                self.subs[local].terminal,
+                None,
+            ),
+            CallKind::MtFromTerminal => (
+                self.subs[local].terminal,
+                self.subs[local].msisdn,
+                self.subs[local].ms,
+                None,
+            ),
+            CallKind::MsToMs => {
+                if self.cfg.subscribers < 2 {
+                    self.net.stats_mut().count("load.no_peer_available");
+                    return;
+                }
+                let mut p = (arrival.peer_draw % (self.cfg.subscribers as u64 - 1)) as usize;
+                if p >= local {
+                    p += 1;
+                }
+                if self.subs[p].away {
+                    self.net.stats_mut().count("load.away_skipped");
+                    return;
+                }
+                if at_us < self.subs[p].busy_until_us {
+                    self.net.stats_mut().count("load.busy_skipped");
+                    return;
+                }
+                self.subs[p].busy_until_us = at_us + arrival.hold_ms * 1000;
+                self.subs[p].call_started_us = at_us;
+                self.subs[p].current_peer = Some(self.subs[local].ms);
+                (self.subs[local].ms, self.subs[p].msisdn, self.subs[p].ms, Some(p))
+            }
+        };
+        self.subs[local].busy_until_us = at_us + arrival.hold_ms * 1000;
+        self.subs[local].call_started_us = at_us;
+        // The far party as seen from the subscriber's handset (for MT
+        // calls the originating terminal, not the handset itself).
+        self.subs[local].current_peer = Some(if orig == self.subs[local].ms { peer } else { orig });
+        let call = CallId((self.cfg.base_index as u64) << 32 | self.next_call);
+        self.next_call += 1;
+        self.net.inject(
+            SimDuration::ZERO,
+            orig,
+            Message::Cmd(Command::Dial { call, called }),
+        );
+        let at_ms = at_us / 1000;
+        let mute_ms = CONNECT_GRACE_MS + self.cfg.voice_sample_ms;
+        if mute_ms < arrival.hold_ms {
+            self.push(at_ms + mute_ms, Action::Mute { a: orig, b: peer });
+        }
+        self.push(
+            at_ms + arrival.hold_ms,
+            Action::Hangup {
+                node: orig,
+                peer,
+                local,
+                peer_local,
+            },
+        );
+    }
+
+    /// The subscriber's excursion leaves the shard. Mid-call (and only
+    /// when the call is settled and has time left) this becomes an
+    /// inter-VMSC handoff; idle it transfers HLR ownership.
+    fn cross_out(&mut self, local: usize, at_us: u64) {
+        let Some(target) = self.subs[local].cross_target else {
+            return;
+        };
+        let global = self.cfg.base_index + local;
+        let busy = at_us < self.subs[local].busy_until_us;
+        if busy {
+            let settled_us = self.subs[local].call_started_us
+                + (CONNECT_GRACE_MS + self.cfg.voice_sample_ms + 500) * 1000;
+            if at_us <= settled_us || at_us + HANDOFF_TAIL_US >= self.subs[local].busy_until_us {
+                self.net.stats_mut().count("load.cross_skipped");
+                return;
+            }
+            self.net.stats_mut().count("load.moves");
+            self.subs[local].away = true;
+            self.subs[local].handed_off = true;
+            // Re-open voice on both legs so the handoff interrupts a
+            // live stream, then mute again once the gap is sampled.
+            let ms = self.subs[local].ms;
+            let peer = self.subs[local].current_peer.expect("mid-call peer");
+            self.net
+                .inject(SimDuration::ZERO, ms, Message::Cmd(Command::StartTalking));
+            self.net
+                .inject(SimDuration::ZERO, peer, Message::Cmd(Command::StartTalking));
+            let mute_at_ms = at_us / 1000 + HANDOFF_VOICE_MS;
+            if mute_at_ms * 1000 + 500_000 < self.subs[local].busy_until_us {
+                self.push(mute_at_ms, Action::Mute { a: ms, b: peer });
+            }
+            self.net.inject(
+                SimDuration::ZERO,
+                ms,
+                Message::Cmd(Command::MoveToCell { cell: BORDER_CELL }),
+            );
+        } else {
+            if self.subs[local].busy_until_us > 0
+                && at_us < self.subs[local].busy_until_us + POST_CALL_SETTLE_US
+            {
+                self.net.stats_mut().count("load.cross_skipped");
+                return;
+            }
+            self.net.stats_mut().count("load.moves");
+            self.net.stats_mut().count("load.cross_idle");
+            self.subs[local].away = true;
+            // The destination shard's HLR takes the record; ours drops
+            // it (GSM cancel-location toward the serving VLR included).
+            self.outbox.push(Envelope {
+                to_shard: target,
+                flit: Flit::Arrive { global },
+            });
+            self.net.inject(
+                SimDuration::ZERO,
+                self.home_hlr,
+                Message::Map(MapMessage::CancelLocation {
+                    imsi: imsi_for(global),
+                }),
+            );
+            self.net.inject(
+                SimDuration::ZERO,
+                self.subs[local].ms,
+                Message::Cmd(Command::MoveToCell { cell: BORDER_CELL }),
+            );
+        }
+    }
+
+    /// The subscriber comes home: re-camp on the home cell, and for
+    /// idle-mode trips reclaim the HLR record from the host shard.
+    fn cross_back(&mut self, local: usize, at_us: u64) {
+        let global = self.cfg.base_index + local;
+        if self.subs[local].handed_off {
+            if at_us < self.subs[local].busy_until_us + POST_CALL_SETTLE_US {
+                // Still on the handed-off call; return after it ends.
+                self.subs[local].pending_return = true;
+                return;
+            }
+            self.subs[local].away = false;
+            self.subs[local].handed_off = false;
+        } else {
+            let target = self.subs[local].cross_target.expect("cross mover");
+            self.subs[local].away = false;
+            // Reclaim ownership before the handset's location update
+            // arrives, mirroring the HLR update of a real return.
+            self.net
+                .node_mut::<Hlr>(self.home_hlr)
+                .expect("home HLR")
+                .provision(
+                    imsi_for(global),
+                    0x5000 + global as u64,
+                    SubscriberProfile::full(msisdn_for(global)),
+                );
+            self.outbox.push(Envelope {
+                to_shard: target,
+                flit: Flit::Depart { global },
+            });
+        }
+        self.net.stats_mut().count("load.cross_back");
+        self.net.inject(
+            SimDuration::ZERO,
+            self.subs[local].ms,
+            Message::Cmd(Command::MoveToCell {
+                cell: self.home_cell,
+            }),
+        );
+    }
+
+    /// Delivers one barrier flit into the simulation.
+    fn deliver_flit(&mut self, from_shard: usize, flit: Flit, um_batch: &mut Vec<(NodeId, Dtap)>) {
+        match flit {
+            Flit::Map(m) => {
+                if let MapMessage::PrepareHandover { call, .. } = &m {
+                    // Remember who anchors this visitor call so replies
+                    // and uplink voice can be routed back.
+                    self.call_src.insert(*call, from_shard);
+                }
+                self.net
+                    .inject(SimDuration::ZERO, self.trunk_gate, Message::Map(m));
+            }
+            Flit::Trunk {
+                cic,
+                call,
+                seq,
+                origin_off_us,
+            } => {
+                self.net.inject(
                     SimDuration::ZERO,
-                    subs[local].ms,
-                    Message::Cmd(Command::MoveToCell { cell }),
+                    self.trunk_gate,
+                    Message::TrunkVoice {
+                        cic,
+                        call,
+                        seq,
+                        origin_us: self.t0_us + origin_off_us,
+                    },
+                );
+            }
+            Flit::UmUp { global, dtap } => match dtap {
+                Dtap::HandoverComplete { .. } => {
+                    // The visitor arrived on our border cell: allocate
+                    // the radio-leg connection its A-interface will use.
+                    let conn = ConnRef(VISITOR_CONN_BASE | self.next_visitor_conn);
+                    self.next_visitor_conn += 1;
+                    self.visitor_conns.insert(global, conn);
+                    self.conn_globals.insert(conn, (global, from_shard));
+                    self.net.inject(
+                        SimDuration::ZERO,
+                        self.radio_gate,
+                        Message::A { conn, dtap },
+                    );
+                }
+                dtap => {
+                    if let Some(&conn) = self.visitor_conns.get(&global) {
+                        let dtap = self.rebase_in(dtap);
+                        self.net.inject(
+                            SimDuration::ZERO,
+                            self.radio_gate,
+                            Message::A { conn, dtap },
+                        );
+                    } else {
+                        self.net.stats_mut().count("load.cross_dropped");
+                    }
+                }
+            },
+            Flit::ADown { global, dtap } => {
+                let local = global - self.cfg.base_index;
+                let dtap = self.rebase_in(dtap);
+                if matches!(dtap, Dtap::VoiceFrame { .. }) {
+                    if let Some(start_us) = self.pending_interrupt.remove(&local) {
+                        // First downlink voice since the handset left its
+                        // old channel: the handoff interruption gap.
+                        let gap_ms =
+                            self.net.now().as_micros().saturating_sub(start_us) as f64 / 1000.0;
+                        self.net
+                            .stats_mut()
+                            .observe("load.handoff_interruption_ms", gap_ms);
+                    }
+                }
+                um_batch.push((self.subs[local].ms, dtap));
+            }
+            Flit::Arrive { global } => {
+                self.net.stats_mut().count("load.visitors_hosted");
+                self.net
+                    .node_mut::<Hlr>(self.home_hlr)
+                    .expect("home HLR")
+                    .provision(
+                        imsi_for(global),
+                        0x5000 + global as u64,
+                        SubscriberProfile::full(msisdn_for(global)),
+                    );
+            }
+            Flit::Depart { global } => {
+                self.net.inject(
+                    SimDuration::ZERO,
+                    self.home_hlr,
+                    Message::Map(MapMessage::CancelLocation {
+                        imsi: imsi_for(global),
+                    }),
                 );
             }
         }
     }
 
-    let outcome = net.run_until_quiescent();
-    events += outcome.events;
-    if !outcome.quiescent {
-        net.stats_mut().count("load.drain_capped");
-    }
-    net.stats_mut()
-        .count_by("load.registered", registered as u64);
+    /// Harvests the epoch's outbound cross-shard traffic from the gates.
+    fn drain_gates(&mut self) {
+        let captured = self
+            .net
+            .node_mut::<TrunkGate>(self.trunk_gate)
+            .expect("trunk gate")
+            .take_captured();
+        for msg in captured {
+            match msg {
+                Message::Map(m) => {
+                    let to_shard = match &m {
+                        MapMessage::PrepareHandover { call, imsi, .. } => {
+                            let Some(local) = global_of(imsi)
+                                .map(|g| g - self.cfg.base_index)
+                                .filter(|&l| l < self.subs.len())
+                            else {
+                                self.net.stats_mut().count("load.cross_unroutable");
+                                continue;
+                            };
+                            let Some(target) = self.subs[local].cross_target else {
+                                self.net.stats_mut().count("load.cross_unroutable");
+                                continue;
+                            };
+                            self.anchored.insert(
+                                *call,
+                                AnchoredLeg {
+                                    target_shard: target,
+                                },
+                            );
+                            self.net.stats_mut().count("load.handoff_attempts");
+                            target
+                        }
+                        MapMessage::SendEndSignalAck { call } => {
+                            let Some(leg) = self.anchored.get(call) else {
+                                self.net.stats_mut().count("load.cross_unroutable");
+                                continue;
+                            };
+                            self.net.stats_mut().count("load.handoff_success");
+                            leg.target_shard
+                        }
+                        MapMessage::PrepareHandoverAck { call, .. }
+                        | MapMessage::SendEndSignal { call } => {
+                            let Some(&src) = self.call_src.get(call) else {
+                                self.net.stats_mut().count("load.cross_unroutable");
+                                continue;
+                            };
+                            src
+                        }
+                        _ => {
+                            self.net.stats_mut().count("load.cross_unroutable");
+                            continue;
+                        }
+                    };
+                    self.outbox.push(Envelope {
+                        to_shard,
+                        flit: Flit::Map(m),
+                    });
+                }
+                Message::TrunkVoice {
+                    cic,
+                    call,
+                    seq,
+                    origin_us,
+                } => {
+                    // Anchor → target (our subscriber's downlink) or
+                    // target → anchor (a visitor's uplink).
+                    let to_shard = self
+                        .anchored
+                        .get(&call)
+                        .map(|leg| leg.target_shard)
+                        .or_else(|| self.call_src.get(&call).copied());
+                    let Some(to_shard) = to_shard else {
+                        self.net.stats_mut().count("load.cross_dropped");
+                        continue;
+                    };
+                    self.outbox.push(Envelope {
+                        to_shard,
+                        flit: Flit::Trunk {
+                            cic,
+                            call,
+                            seq,
+                            origin_off_us: origin_us.saturating_sub(self.t0_us),
+                        },
+                    });
+                }
+                _ => self.net.stats_mut().count("load.cross_unroutable"),
+            }
+        }
 
-    ShardReport {
-        shard_index: cfg.shard_index,
-        registered,
-        events,
-        sim_end: net.now(),
-        stats: net.stats().clone(),
+        let ups = self
+            .net
+            .node_mut::<RadioGate>(self.radio_gate)
+            .expect("radio gate")
+            .take_um_up();
+        for (ms, dtap, at_us) in ups {
+            let Some(&local) = self.ms_index.get(&ms) else {
+                self.net.stats_mut().count("load.cross_dropped");
+                continue;
+            };
+            let global = self.cfg.base_index + local;
+            match dtap {
+                Dtap::LocationUpdateRequest { .. } => {
+                    // Idle-mode arrival at the border: the destination
+                    // shard already owns the HLR record; answer the
+                    // handset from here next epoch (one barrier's worth
+                    // of inter-shard signaling latency).
+                    self.pending_um
+                        .push((ms, Dtap::LocationUpdateAccept { tmsi: None }));
+                }
+                dtap => {
+                    if matches!(dtap, Dtap::HandoverComplete { .. }) {
+                        // Radio silence starts when the handset reaches
+                        // the border cell; ends at the first downlink
+                        // voice frame relayed back from the target.
+                        self.pending_interrupt.insert(local, at_us);
+                    }
+                    let Some(target) = self.subs[local].cross_target else {
+                        self.net.stats_mut().count("load.cross_dropped");
+                        continue;
+                    };
+                    let dtap = self.rebase_out(dtap);
+                    self.outbox.push(Envelope {
+                        to_shard: target,
+                        flit: Flit::UmUp { global, dtap },
+                    });
+                }
+            }
+        }
+
+        let downs = self
+            .net
+            .node_mut::<RadioGate>(self.radio_gate)
+            .expect("radio gate")
+            .take_a_down();
+        for (conn, dtap) in downs {
+            let Some(&(global, home_shard)) = self.conn_globals.get(&conn) else {
+                self.net.stats_mut().count("load.cross_dropped");
+                continue;
+            };
+            let released = matches!(dtap, Dtap::ChannelRelease);
+            let dtap = self.rebase_out(dtap);
+            self.outbox.push(Envelope {
+                to_shard: home_shard,
+                flit: Flit::ADown { global, dtap },
+            });
+            if released {
+                // The target VMSC freed the visitor's radio leg.
+                self.conn_globals.remove(&conn);
+                self.visitor_conns.remove(&global);
+            }
+        }
     }
+
+    /// Voice timestamps travel the mailbox relative to the sender's t0.
+    fn rebase_out(&self, dtap: Dtap) -> Dtap {
+        match dtap {
+            Dtap::VoiceFrame {
+                call,
+                seq,
+                origin_us,
+            } => Dtap::VoiceFrame {
+                call,
+                seq,
+                origin_us: origin_us.saturating_sub(self.t0_us),
+            },
+            d => d,
+        }
+    }
+
+    fn rebase_in(&self, dtap: Dtap) -> Dtap {
+        match dtap {
+            Dtap::VoiceFrame {
+                call,
+                seq,
+                origin_us,
+            } => Dtap::VoiceFrame {
+                call,
+                seq,
+                origin_us: self.t0_us + origin_us,
+            },
+            d => d,
+        }
+    }
+
+    /// Seals the shard and hands back its evidence.
+    pub fn finish(mut self) -> ShardReport {
+        if self.is_busy() {
+            // The engine stopped at its epoch cap with work remaining.
+            self.net.stats_mut().count("load.drain_capped");
+        }
+        self.net
+            .stats_mut()
+            .count_by("load.registered", self.registered as u64);
+        ShardReport {
+            shard_index: self.cfg.shard_index,
+            registered: self.registered,
+            events: self.events,
+            sim_end: self.net.now(),
+            stats: self.net.stats().clone(),
+        }
+    }
+}
+
+/// Builds the shard's world, replays its population slice to completion
+/// and returns the merged evidence.
+///
+/// This is the standalone (no cross-shard exchange) path: envelopes a
+/// lone shard addresses to other shards are discarded, so use it only
+/// with `total_shards == 1` configurations; the engine drives
+/// [`Shard::run_epoch`] with a real mailbox instead.
+pub fn run_shard(cfg: &ShardConfig, plans: &[SubscriberPlan]) -> ShardReport {
+    let mut shard = Shard::new(cfg, plans);
+    let mut epoch = 0;
+    while shard.is_busy() && epoch <= shard.max_epoch_hint() {
+        shard.run_epoch(epoch, Vec::new());
+        epoch += 1;
+    }
+    shard.finish()
 }

@@ -105,6 +105,97 @@ fn shard_count_does_not_change_subscriber_plans() {
     }
 }
 
+/// A population with cross-shard excursions enabled: subscribers leave
+/// their home shard mid-call (inter-VMSC handoff over the mailbox) and
+/// while idle (HLR ownership transfer).
+fn cross_cfg(threads: usize, shards: usize) -> LoadConfig {
+    LoadConfig {
+        subscribers: 96,
+        shards,
+        threads,
+        seed: 0xD15EA5E,
+        population: PopulationConfig {
+            calls_per_sub_hour: 40.0,
+            mean_hold_secs: 25.0,
+            window_secs: 90,
+            mix: CallMix {
+                mo: 0.4,
+                mt: 0.4,
+                m2m: 0.2,
+            },
+            mobility_fraction: 0.15,
+            cross_shard_fraction: 0.35,
+            ..PopulationConfig::default()
+        },
+        ..LoadConfig::default()
+    }
+}
+
+/// The tentpole property: with inter-shard traffic flowing — handoff
+/// MAP dialogues, rerouted trunk voice, HLR relocations — the merged
+/// report is still bit-identical for every worker-thread count, at
+/// more than one shard count.
+#[test]
+fn cross_shard_results_are_thread_invariant() {
+    for shards in [4, 16] {
+        let base = run_load(&cross_cfg(1, shards));
+        for threads in [2, 8] {
+            let other = run_load(&cross_cfg(threads, shards));
+            assert_eq!(
+                base.render_deterministic(),
+                other.render_deterministic(),
+                "KPI text diverged between 1 and {threads} threads at {shards} shards"
+            );
+            assert_eq!(
+                base.fingerprint(),
+                other.fingerprint(),
+                "fingerprint diverged between 1 and {threads} threads at {shards} shards"
+            );
+        }
+    }
+}
+
+/// The cross-shard machinery must actually fire: the run above is only
+/// meaningful if the mailbox carried real handoffs and HLR moves.
+#[test]
+fn cross_shard_traffic_actually_flows() {
+    let r = run_load(&cross_cfg(2, 4));
+    assert!(
+        r.handoff_attempts() > 0,
+        "no inter-VMSC handoffs attempted:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.handoff_successes() > 0,
+        "no handoff completed the Figure 9 ladder:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.handoff_interruption().count() > 0,
+        "no interruption-time samples (downlink never resumed):\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.hlr_relocations() > 0,
+        "no idle-mode HLR ownership moves:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.stats.counter("load.visitors_hosted") > 0,
+        "no shard ever hosted a visitor:\n{}",
+        r.render_deterministic()
+    );
+}
+
+/// Rerunning a cross-shard configuration reproduces it exactly.
+#[test]
+fn cross_shard_reruns_are_identical() {
+    let a = run_load(&cross_cfg(2, 4));
+    let b = run_load(&cross_cfg(2, 4));
+    assert_eq!(a.render_deterministic(), b.render_deterministic());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
 /// The busy hour must exercise every KPI the report advertises.
 #[test]
 fn kpis_are_populated() {

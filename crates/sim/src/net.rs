@@ -14,12 +14,16 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
 /// Object-safe shim adding downcast support to every [`Node`].
-trait AnyNode<M: Payload>: Node<M> {
+///
+/// `Send` is required so a whole [`Network`] can be handed between
+/// worker threads — the load engine keeps every shard alive across
+/// epochs and runs each epoch on whichever thread picks it up.
+trait AnyNode<M: Payload>: Node<M> + Send {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl<M: Payload, T: Node<M> + 'static> AnyNode<M> for T {
+impl<M: Payload, T: Node<M> + Send + 'static> AnyNode<M> for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -56,6 +60,7 @@ pub struct Network<M: Payload> {
     started: bool,
     max_events: u64,
     trace_details: bool,
+    trace_capture: bool,
 }
 
 impl<M: Payload> Network<M> {
@@ -75,6 +80,7 @@ impl<M: Payload> Network<M> {
             started: false,
             max_events: 50_000_000,
             trace_details: true,
+            trace_capture: true,
         }
     }
 
@@ -83,6 +89,15 @@ impl<M: Payload> Network<M> {
     /// contents turn this off to avoid formatting every delivery.
     pub fn set_trace_details(&mut self, enabled: bool) {
         self.trace_details = enabled;
+    }
+
+    /// Disables trace capture entirely — no labels, no notes. Node names
+    /// stay registered so diagnostics still resolve ids. Population-scale
+    /// runs keep every shard's network alive for the whole busy hour, so
+    /// even label-only capture would grow without bound; they turn the
+    /// trace off and rely on [`Stats`] instead.
+    pub fn set_trace_capture(&mut self, enabled: bool) {
+        self.trace_capture = enabled;
     }
 
     /// Caps the number of events a single run call may process (a runaway
@@ -102,7 +117,7 @@ impl<M: Payload> Network<M> {
     /// [`Node::on_start`] is invoked immediately.
     pub fn add_node<N>(&mut self, name: &str, node: N) -> NodeId
     where
-        N: Node<M> + 'static,
+        N: Node<M> + Send + 'static,
     {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(Box::new(node)));
@@ -283,7 +298,7 @@ impl<M: Payload> Network<M> {
                 msg,
             } => {
                 self.stats.count("sim.delivered");
-                if msg.traceable() {
+                if self.trace_capture && msg.traceable() {
                     let detail = if self.trace_details {
                         format!("{msg:?}")
                     } else {
@@ -368,7 +383,9 @@ impl<M: Payload> Network<M> {
                     self.cancelled.insert(token);
                 }
                 Effect::Note { text } => {
-                    self.trace.record_note(self.now, from, text);
+                    if self.trace_capture {
+                        self.trace.record_note(self.now, from, text);
+                    }
                 }
             }
         }

@@ -91,16 +91,30 @@ impl Histogram {
     }
 
     /// Records one observation.
+    ///
+    /// NaN lands in the underflow bucket and counts toward `count`, but
+    /// never becomes the running min/max — otherwise one bad sample
+    /// would leave the extremes stuck at the ±infinity sentinels while
+    /// `count > 0`, and every merge downstream would inherit them.
     pub fn observe(&mut self, value: f64) {
         self.buckets[bucket_index(value)] += 1;
         self.count += 1;
         self.sum += value;
-        if value < self.min {
-            self.min = value;
+        if !value.is_nan() {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
         }
-        if value > self.max {
-            self.max = value;
-        }
+    }
+
+    /// True when the min/max fields hold real observations. An empty
+    /// histogram (or one that has only seen NaN) keeps the sentinels
+    /// `min = +inf, max = -inf`, which this ordering check rejects.
+    fn has_extremes(&self) -> bool {
+        self.min <= self.max
     }
 
     /// Number of observations.
@@ -124,12 +138,12 @@ impl Histogram {
 
     /// Smallest observation, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.min)
+        self.has_extremes().then_some(self.min)
     }
 
     /// Largest observation, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.max)
+        self.has_extremes().then_some(self.max)
     }
 
     /// The `p`-th percentile (0–100) by nearest rank over the buckets.
@@ -146,6 +160,20 @@ impl Histogram {
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.count == 0 {
+            return 0.0;
+        }
+        if !self.has_extremes() {
+            // Non-empty but no finite extremes (all observations NaN):
+            // fall back to the raw bucket midpoints, which place every
+            // NaN in the zero bucket.
+            let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, &n) in self.buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_midpoint(i);
+                }
+            }
             return 0.0;
         }
         if p == 0.0 {
@@ -174,7 +202,9 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
-        if other.count > 0 {
+        // Fold extremes only when `other` actually has some: merging an
+        // empty (or all-NaN) histogram must not drag the sentinels in.
+        if other.has_extremes() {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
@@ -442,6 +472,55 @@ mod tests {
         assert_eq!(a.min(), Some(3.0));
         assert_eq!(a.max(), Some(3.0));
         assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn merge_of_empty_does_not_poison_extremes() {
+        // Folding an empty shard histogram into a populated one must
+        // leave min/max untouched — not drag in the ±inf sentinels.
+        let mut a = Histogram::new();
+        a.observe(2.0);
+        a.observe(9.0);
+        a.merge(&Histogram::new());
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(9.0));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.percentile(0.0), 2.0);
+        assert_eq!(a.percentile(100.0), 9.0);
+
+        // And the symmetric case: merging shards where some are empty
+        // (e.g. a KPI no call on that shard ever hit) stays finite.
+        let mut merged = Histogram::new();
+        for shard in [Histogram::new(), a.clone(), Histogram::new()] {
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.min(), Some(2.0));
+        assert_eq!(merged.max(), Some(9.0));
+    }
+
+    #[test]
+    fn nan_observation_does_not_poison_extremes() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        // count > 0 but there is no real extreme to report.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.percentile(0.0).is_finite());
+        assert!(h.percentile(100.0).is_finite());
+
+        h.observe(5.0);
+        assert_eq!(h.min(), Some(5.0));
+        assert_eq!(h.max(), Some(5.0));
+
+        // Merging an all-NaN histogram into a real one is also inert.
+        let mut nan_only = Histogram::new();
+        nan_only.observe(f64::NAN);
+        let mut real = Histogram::new();
+        real.observe(1.0);
+        real.merge(&nan_only);
+        assert_eq!(real.min(), Some(1.0));
+        assert_eq!(real.max(), Some(1.0));
     }
 
     #[test]

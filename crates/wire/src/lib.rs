@@ -60,7 +60,7 @@ pub use ids::{
 };
 pub use ip::{IpPacket, IpPayload};
 pub use isup::{DecodeIsupError, IsupKind, IsupMessage};
-pub use map::MapMessage;
+pub use map::{DecodeMapError, MapMessage};
 pub use message::Message;
 pub use q931::{DecodeQ931Error, Q931Kind, Q931Message};
 pub use qos::{DelayClass, PeakThroughputClass, Precedence, QosProfile, ReliabilityClass};

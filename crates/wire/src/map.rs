@@ -306,6 +306,109 @@ impl MapMessage {
         }
     }
 
+    /// Encodes the inter-MSC handoff subset (the four E-interface
+    /// operations of Figure 9) to wire form: operation code (1), call id
+    /// (8), then operation-specific parameters. Result operations carry
+    /// the invoke's GSM 09.02 code with the high bit set, mirroring the
+    /// invoke/result pairing of a TCAP dialogue.
+    ///
+    /// Returns `None` for operations outside the handoff subset — those
+    /// stay in-memory only (B/C/D/Gr dialogues never leave a shard).
+    pub fn encode_handover(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            MapMessage::PrepareHandover { call, imsi, cell } => {
+                out.push(op::PREPARE_HANDOVER);
+                out.extend_from_slice(&call.0.to_be_bytes());
+                let digits = imsi.digits();
+                out.push(digits.len() as u8);
+                out.extend_from_slice(digits.as_bytes());
+                out.extend_from_slice(&cell.0.to_be_bytes());
+            }
+            MapMessage::PrepareHandoverAck { call, cic, ho_ref } => {
+                out.push(op::PREPARE_HANDOVER | op::RESULT);
+                out.extend_from_slice(&call.0.to_be_bytes());
+                out.extend_from_slice(&cic.0.to_be_bytes());
+                out.extend_from_slice(&ho_ref.to_be_bytes());
+            }
+            MapMessage::SendEndSignal { call } => {
+                out.push(op::SEND_END_SIGNAL);
+                out.extend_from_slice(&call.0.to_be_bytes());
+            }
+            MapMessage::SendEndSignalAck { call } => {
+                out.push(op::SEND_END_SIGNAL | op::RESULT);
+                out.extend_from_slice(&call.0.to_be_bytes());
+            }
+            _ => return None,
+        }
+        Some(out)
+    }
+
+    /// Decodes a handoff-subset operation from wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeMapError`] on malformed input.
+    pub fn decode_handover(bytes: &[u8]) -> Result<Self, DecodeMapError> {
+        if bytes.len() < 9 {
+            return Err(DecodeMapError::Truncated);
+        }
+        let code = bytes[0];
+        let call = CallId(u64::from_be_bytes(
+            bytes[1..9].try_into().expect("length checked"),
+        ));
+        let rest = &bytes[9..];
+        match code {
+            op::PREPARE_HANDOVER => {
+                let Some((&len, rest)) = rest.split_first() else {
+                    return Err(DecodeMapError::Truncated);
+                };
+                let len = len as usize;
+                if rest.len() < len {
+                    return Err(DecodeMapError::Truncated);
+                }
+                let digits = std::str::from_utf8(&rest[..len])
+                    .map_err(|_| DecodeMapError::BadParameter("imsi digits"))?;
+                let imsi =
+                    Imsi::parse(digits).map_err(|_| DecodeMapError::BadParameter("imsi digits"))?;
+                let rest = &rest[len..];
+                if rest.len() < 2 {
+                    return Err(DecodeMapError::Truncated);
+                }
+                if rest.len() > 2 {
+                    return Err(DecodeMapError::TrailingBytes(rest.len() - 2));
+                }
+                let cell = CellId(u16::from_be_bytes([rest[0], rest[1]]));
+                Ok(MapMessage::PrepareHandover { call, imsi, cell })
+            }
+            code if code == op::PREPARE_HANDOVER | op::RESULT => {
+                if rest.len() < 6 {
+                    return Err(DecodeMapError::Truncated);
+                }
+                if rest.len() > 6 {
+                    return Err(DecodeMapError::TrailingBytes(rest.len() - 6));
+                }
+                let cic = Cic(u16::from_be_bytes([rest[0], rest[1]]));
+                let ho_ref =
+                    u32::from_be_bytes(rest[2..6].try_into().expect("length checked"));
+                Ok(MapMessage::PrepareHandoverAck { call, cic, ho_ref })
+            }
+            op::SEND_END_SIGNAL => {
+                if !rest.is_empty() {
+                    return Err(DecodeMapError::TrailingBytes(rest.len()));
+                }
+                Ok(MapMessage::SendEndSignal { call })
+            }
+            code if code == op::SEND_END_SIGNAL | op::RESULT => {
+                if !rest.is_empty() {
+                    return Err(DecodeMapError::TrailingBytes(rest.len()));
+                }
+                Ok(MapMessage::SendEndSignalAck { call })
+            }
+            other => Err(DecodeMapError::UnknownOperation(other)),
+        }
+    }
+
     /// True if this operation discloses the subscriber's IMSI to its
     /// receiver. The C4 experiment counts these per administrative domain
     /// to quantify the paper's confidentiality argument (Section 6).
@@ -331,6 +434,44 @@ impl MapMessage {
         )
     }
 }
+
+/// GSM 09.02 operation codes for the handoff subset; results set the
+/// high bit of the matching invoke.
+mod op {
+    pub const PREPARE_HANDOVER: u8 = 68;
+    pub const SEND_END_SIGNAL: u8 = 29;
+    pub const RESULT: u8 = 0x80;
+}
+
+/// Errors from [`MapMessage::decode_handover`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeMapError {
+    /// Input ended early.
+    Truncated,
+    /// Operation code outside the handoff subset.
+    UnknownOperation(u8),
+    /// A parameter was malformed.
+    BadParameter(&'static str),
+    /// Extra bytes followed a complete operation.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeMapError::Truncated => write!(f, "MAP operation truncated"),
+            DecodeMapError::UnknownOperation(c) => {
+                write!(f, "unknown MAP operation code {c:#04x}")
+            }
+            DecodeMapError::BadParameter(p) => write!(f, "malformed MAP parameter: {p}"),
+            DecodeMapError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after MAP operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeMapError {}
 
 #[cfg(test)]
 mod tests {

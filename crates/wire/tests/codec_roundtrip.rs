@@ -7,8 +7,8 @@
 
 use vgprs_sim::SimRng;
 use vgprs_wire::{
-    CallId, Cause, Cic, Crv, GtpHeader, GtpMsgType, Imsi, Ipv4Addr, IsupKind, IsupMessage,
-    Msisdn, Q931Kind, Q931Message, RtpPacket, TransportAddr,
+    CallId, Cause, CellId, Cic, Crv, DecodeMapError, GtpHeader, GtpMsgType, Imsi, Ipv4Addr,
+    IsupKind, IsupMessage, MapMessage, Msisdn, Q931Kind, Q931Message, RtpPacket, TransportAddr,
 };
 
 const CASES: usize = 300;
@@ -208,6 +208,108 @@ fn isup_decode_never_panics() {
     for _ in 0..CASES {
         let bytes = rand_bytes(&mut rng, 64);
         let _ = IsupMessage::decode(&bytes);
+    }
+}
+
+fn rand_map_handover(rng: &mut SimRng) -> MapMessage {
+    match rng.range(0, 4) {
+        0 => MapMessage::PrepareHandover {
+            call: CallId(rng.next_u64()),
+            imsi: rand_imsi(rng),
+            cell: CellId(rng.next_u32() as u16),
+        },
+        1 => MapMessage::PrepareHandoverAck {
+            call: CallId(rng.next_u64()),
+            cic: Cic(rng.next_u32() as u16),
+            ho_ref: rng.next_u32(),
+        },
+        2 => MapMessage::SendEndSignal {
+            call: CallId(rng.next_u64()),
+        },
+        _ => MapMessage::SendEndSignalAck {
+            call: CallId(rng.next_u64()),
+        },
+    }
+}
+
+#[test]
+fn map_handover_roundtrip() {
+    let mut rng = SimRng::new(0x623);
+    for _ in 0..CASES {
+        let m = rand_map_handover(&mut rng);
+        let bytes = m.encode_handover().expect("handoff subset encodes");
+        assert_eq!(MapMessage::decode_handover(&bytes).expect("decodes"), m);
+    }
+}
+
+#[test]
+fn map_handover_decode_rejects_truncation() {
+    // Every strict prefix of every handoff operation must fail to
+    // decode — a short SS7 read can never yield a phantom operation.
+    let mut rng = SimRng::new(0x624);
+    for _ in 0..32 {
+        let m = rand_map_handover(&mut rng);
+        let b = m.encode_handover().expect("encodes");
+        for cut in 0..b.len() {
+            assert!(
+                MapMessage::decode_handover(&b[..cut]).is_err(),
+                "prefix {cut} of {m:?} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn map_handover_decode_rejects_trailing_bytes() {
+    let m = MapMessage::SendEndSignal { call: CallId(7) };
+    let mut b = m.encode_handover().expect("encodes");
+    b.push(0);
+    assert_eq!(
+        MapMessage::decode_handover(&b),
+        Err(DecodeMapError::TrailingBytes(1))
+    );
+}
+
+#[test]
+fn map_handover_decode_never_panics() {
+    let mut rng = SimRng::new(0x625);
+    for _ in 0..CASES {
+        let bytes = rand_bytes(&mut rng, 64);
+        let _ = MapMessage::decode_handover(&bytes);
+    }
+}
+
+#[test]
+fn map_non_handover_ops_stay_in_memory() {
+    let m = MapMessage::CancelLocation {
+        imsi: Imsi::parse("466920123456789").expect("valid"),
+    };
+    assert_eq!(m.encode_handover(), None);
+}
+
+#[test]
+fn gtp_update_pdp_decode_rejects_truncation() {
+    // The PDP-context update exchanged when a handed-off subscriber's
+    // bearer moves: every strict prefix of the header must fail.
+    for msg_type in [
+        GtpMsgType::UpdatePdpContextRequest,
+        GtpMsgType::UpdatePdpContextResponse,
+    ] {
+        let h = GtpHeader {
+            msg_type,
+            length: 12,
+            seq: 7,
+            flow: 9,
+            tid: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let b = h.encode();
+        for cut in 0..b.len() {
+            assert!(
+                GtpHeader::decode(&b[..cut]).is_err(),
+                "prefix {cut} of {msg_type:?} decoded"
+            );
+        }
+        assert_eq!(GtpHeader::decode(&b).expect("full header decodes"), h);
     }
 }
 

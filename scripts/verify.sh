@@ -10,6 +10,18 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cross-shard determinism suite (release)"
+# The thread-invariance property is the load engine's core promise;
+# run it in release too so the optimized schedule is also covered.
+cargo test --release -q -p vgprs-load --test determinism
+
+echo "==> no ignored tests"
+# An #[ignore]d test is a silently skipped promise. Fail loudly instead.
+if grep -rn '#\[ignore' crates tests; then
+    echo "error: ignored tests found (listed above)" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
