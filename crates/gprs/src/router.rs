@@ -2,15 +2,41 @@
 //! prefix-routing IP node connecting the GGSN's Gi side with the H.323
 //! zone's LAN.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
 use vgprs_sim::{Context, Interface, Node, NodeId};
 use vgprs_wire::{Ipv4Addr, Message};
+
+/// Deterministic multiply-shift hasher for [`Ipv4Addr`] keys. Avoids
+/// SipHash setup per lookup; the seed is fixed so runs stay reproducible
+/// regardless of process environment.
+#[derive(Default)]
+struct HostHasher(u64);
+
+impl Hasher for HostHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
 
 /// A simple longest-prefix IP router.
 #[derive(Debug, Default)]
 pub struct IpRouter {
     routes: Vec<(Ipv4Addr, u8, NodeId)>,
-    /// Host routes (exact address match), checked before prefixes.
-    hosts: Vec<(Ipv4Addr, NodeId)>,
+    /// Host routes (exact address match), checked before prefixes. A hash
+    /// map, not a scan: population-scale runs register one host per
+    /// wireline terminal, and every routed packet (every RTP frame on the
+    /// LAN) pays for this lookup.
+    hosts: HashMap<Ipv4Addr, NodeId, BuildHasherDefault<HostHasher>>,
 }
 
 impl IpRouter {
@@ -24,14 +50,15 @@ impl IpRouter {
         self.routes.push((prefix, len, next_hop));
     }
 
-    /// Adds a host route for a single address.
+    /// Adds a host route for a single address. The first route added for
+    /// an address wins, matching the old scan-in-insertion-order lookup.
     pub fn add_host(&mut self, addr: Ipv4Addr, next_hop: NodeId) {
-        self.hosts.push((addr, next_hop));
+        self.hosts.entry(addr).or_insert(next_hop);
     }
 
     /// The next hop for `dst`, if any.
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<NodeId> {
-        if let Some(&(_, hop)) = self.hosts.iter().find(|(a, _)| *a == dst) {
+        if let Some(&hop) = self.hosts.get(&dst) {
             return Some(hop);
         }
         self.routes

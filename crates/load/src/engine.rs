@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use vgprs_sim::Kernel;
+
 use crate::mailbox::{Flit, HlrDirectory, Mailbox};
 use crate::population::{subscriber_plan, PopulationConfig, SubscriberPlan};
 use crate::report::LoadReport;
@@ -50,6 +52,11 @@ pub struct LoadConfig {
     /// How long each call's voice is actually sampled; see
     /// [`ShardConfig::voice_sample_ms`].
     pub voice_sample_ms: u64,
+    /// Event kernel every shard network runs on. The timer wheel is the
+    /// default; the binary heap is kept as the differential oracle
+    /// (`harness kernelbench --check`). Fingerprints are identical on
+    /// both, so this is a performance knob, never an experiment knob.
+    pub kernel: Kernel,
 }
 
 impl Default for LoadConfig {
@@ -64,6 +71,7 @@ impl Default for LoadConfig {
             pdch_bps: 1_600_000,
             gk_bandwidth: 100_000_000,
             voice_sample_ms: 1_000,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -148,6 +156,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             pdch_bps: cfg.pdch_bps,
             gk_bandwidth: cfg.gk_bandwidth,
             voice_sample_ms: cfg.voice_sample_ms,
+            kernel: cfg.kernel,
         })
         .collect();
 

@@ -46,7 +46,7 @@ pub mod population;
 pub mod report;
 pub mod shard;
 
-pub use capacity::{capacity_sweep, CapacityPoint, CapacitySweep};
+pub use capacity::{capacity_knee, capacity_sweep, CapacityPoint, CapacitySweep, KneeEstimate, KneeSearch};
 pub use engine::{partition, run_load, LoadConfig};
 pub use mailbox::{
     Envelope, Flit, HlrDirectory, Mailbox, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS,

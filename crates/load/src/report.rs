@@ -302,6 +302,115 @@ impl LoadReport {
         )
     }
 
+    /// Machine-readable report: every KPI, counter and histogram bucket
+    /// as a JSON object (hand-rolled — the workspace is hermetic, no
+    /// serde). Wall-clock figures are included but, as everywhere else,
+    /// only the deterministic fields feed the fingerprint.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"subscribers\": {},\n", self.subscribers));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!("  \"sim_secs\": {},\n", json_f64(self.sim_secs)));
+        out.push_str(&format!(
+            "  \"wall_secs\": {},\n",
+            json_f64(self.wall.as_secs_f64())
+        ));
+        out.push_str(&format!(
+            "  \"events_per_sec\": {},\n",
+            json_f64(self.events_per_sec())
+        ));
+        out.push_str(&format!(
+            "  \"fingerprint\": \"{:016x}\",\n",
+            self.fingerprint()
+        ));
+        out.push_str("  \"kpis\": {\n");
+        out.push_str(&format!("    \"attempts\": {},\n", self.attempts()));
+        out.push_str(&format!(
+            "    \"blocking_rate\": {},\n",
+            json_f64(self.blocking_rate())
+        ));
+        out.push_str(&format!(
+            "    \"reject_rate\": {},\n",
+            json_f64(self.reject_rate())
+        ));
+        out.push_str(&format!(
+            "    \"frame_loss\": {},\n",
+            json_f64(self.frame_loss())
+        ));
+        out.push_str(&format!("    \"mos\": {},\n", json_f64(self.mos())));
+        for (name, hist) in [
+            ("setup_delay_ms", self.setup_delay()),
+            ("paging_delay_ms", self.paging_delay()),
+            ("pdp_activation_ms", self.pdp_activation()),
+            ("voice_delay_ms", self.voice_delay()),
+            ("handoff_interruption_ms", self.handoff_interruption()),
+        ] {
+            out.push_str(&format!(
+                "    \"{name}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}},\n",
+                hist.count(),
+                json_f64(hist.mean()),
+                json_f64(hist.percentile(50.0)),
+                json_f64(hist.percentile(99.0))
+            ));
+        }
+        out.push_str(&format!(
+            "    \"handoff_attempts\": {},\n",
+            self.handoff_attempts()
+        ));
+        out.push_str(&format!(
+            "    \"handoff_successes\": {},\n",
+            self.handoff_successes()
+        ));
+        out.push_str(&format!("    \"handoff_drops\": {},\n", self.handoff_drops()));
+        out.push_str(&format!(
+            "    \"handoff_frame_loss\": {},\n",
+            self.handoff_frame_loss()
+        ));
+        out.push_str(&format!(
+            "    \"hlr_relocations\": {}\n",
+            self.hlr_relocations()
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, value) in self.stats.counters() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(name), value));
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, hist) in self.stats.histograms() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(name),
+                hist.count(),
+                json_f64(hist.sum())
+            ));
+            let mut first_bucket = true;
+            for (midpoint, count) in hist.nonzero_buckets() {
+                if !first_bucket {
+                    out.push_str(", ");
+                }
+                first_bucket = false;
+                out.push_str(&format!("[{}, {count}]", json_f64(midpoint)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
     /// FNV-1a over the deterministic rendering plus every merged
     /// counter and histogram bucket — the value two runs must share to
     /// be considered identical.
@@ -337,5 +446,62 @@ fn ratio(num: u64, den: u64) -> f64 {
         0.0
     } else {
         num as f64 / den as f64
+    }
+}
+
+/// Renders an `f64` as a JSON number — `null` for NaN/infinity, which
+/// JSON cannot represent.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string for use inside JSON quotes. Counter names are plain
+/// ASCII identifiers today; this keeps the output valid if that changes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_handles_non_finite() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain.counter"), "plain.counter");
+    }
+
+    #[test]
+    fn to_json_is_wellformed_for_an_empty_report() {
+        let report = LoadReport::merge(0, 1, &[], Duration::ZERO);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"fingerprint\""));
+        assert!(json.contains("\"mos\": 0.0"));
     }
 }

@@ -20,12 +20,13 @@
 //! leg while the destination VMSC takes the radio leg over the E-trunk
 //! gate.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use vgprs_core::{VgprsZone, VgprsZoneConfig, Vmsc};
 use vgprs_gsm::{Bts, Hlr, MobileStation, Vlr};
-use vgprs_sim::{Interface, Network, NodeId, SimDuration, SimRng, SimTime, Stats};
+use vgprs_sim::{
+    CalendarWheel, Interface, Kernel, Network, NodeId, SimDuration, SimRng, SimTime, Stats,
+};
 use vgprs_wire::{
     CallId, CellId, Command, ConnRef, Dtap, Imsi, Ipv4Addr, Lai, MapMessage, Message, Msisdn,
     SubscriberProfile, TransportAddr,
@@ -89,6 +90,10 @@ pub struct ShardConfig {
     /// the driver mutes both ends (keeps the event count O(calls), not
     /// O(calls x holding time), while still sampling RTP quality).
     pub voice_sample_ms: u64,
+    /// Which event kernel the shard's network runs on. Both kernels
+    /// produce identical fingerprints; the heap survives as the
+    /// differential oracle for the default timer wheel.
+    pub kernel: Kernel,
 }
 
 /// What one shard hands back for merging.
@@ -127,30 +132,6 @@ enum Action {
         local: usize,
         cell: CellId,
     },
-}
-
-struct Sched {
-    at_us: u64,
-    seq: u64,
-    action: Action,
-}
-
-impl PartialEq for Sched {
-    fn eq(&self, other: &Self) -> bool {
-        self.at_us == other.at_us && self.seq == other.seq
-    }
-}
-impl Eq for Sched {}
-impl PartialOrd for Sched {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Sched {
-    /// Reversed so the `BinaryHeap` pops the earliest action first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
-    }
 }
 
 struct Subscriber {
@@ -218,8 +199,10 @@ pub struct Shard {
     radio_gate: NodeId,
     subs: Vec<Subscriber>,
     ms_index: HashMap<NodeId, usize>,
-    heap: BinaryHeap<Sched>,
-    seq: u64,
+    /// Driver-side replay schedule, keyed by microseconds relative to
+    /// `t0_us`. The wheel pops in `(time, push order)` just like the old
+    /// `BinaryHeap<Sched>`, without the per-pop `O(log n)`.
+    sched: CalendarWheel<Action>,
     next_call: u64,
     max_sched_us: u64,
     // Cross-shard state.
@@ -241,7 +224,7 @@ impl Shard {
         let seed =
             SimRng::derive(cfg.master_seed, STREAM_SHARD.wrapping_add(cfg.shard_index as u64))
                 .next_u64();
-        let mut net = Network::new(seed);
+        let mut net = Network::with_kernel(seed, cfg.kernel);
         net.set_trace_details(false);
         net.set_trace_capture(false);
         let mut events: u64 = 0;
@@ -387,8 +370,7 @@ impl Shard {
             radio_gate,
             subs,
             ms_index,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            sched: CalendarWheel::new(),
             next_call: 1,
             max_sched_us: 0,
             anchored: HashMap::new(),
@@ -420,18 +402,13 @@ impl Shard {
     fn push(&mut self, at_ms: u64, action: Action) {
         let at_us = at_ms * 1000;
         self.max_sched_us = self.max_sched_us.max(at_us);
-        self.heap.push(Sched {
-            at_us,
-            seq: self.seq,
-            action,
-        });
-        self.seq += 1;
+        self.sched.push(SimTime::from_micros(at_us), action);
     }
 
     /// More work to do: scheduled actions, queued sim events, or
     /// downlink waiting for the next epoch.
     pub fn is_busy(&self) -> bool {
-        !self.heap.is_empty() || self.net.pending_events() > 0 || !self.pending_um.is_empty()
+        !self.sched.is_empty() || self.net.pending_events() > 0 || !self.pending_um.is_empty()
     }
 
     /// An upper bound (in epochs) on how long this shard can legally
@@ -471,12 +448,12 @@ impl Shard {
             );
         }
 
-        while self
-            .heap
-            .peek()
-            .is_some_and(|s| s.at_us < end_rel_us)
-        {
-            let Sched { at_us, action, .. } = self.heap.pop().expect("peeked");
+        // Bounded peek: the scheduler's cursor never overshoots the epoch,
+        // so actions pushed for later epochs stay on the O(1) wheel path.
+        let epoch_last = SimTime::from_micros(end_rel_us - 1);
+        while self.sched.next_at_or_before(epoch_last).is_some() {
+            let (at, action) = self.sched.pop().expect("peeked");
+            let at_us = at.as_micros();
             let outcome = self.net.run_until(SimTime::from_micros(self.t0_us + at_us));
             self.events += outcome.events;
             self.handle_action(at_us, action);

@@ -1,0 +1,128 @@
+//! Raw event-kernel churn: heap vs. wheel at fixed queue depths.
+//!
+//! Pre-fills a queue to a target depth, then measures hold-one-push-one
+//! churn — the steady-state pattern the simulator's run loop produces.
+//! Run with `cargo run --release -p vgprs-sim --example kernel_churn`.
+
+use std::time::Instant;
+
+use vgprs_sim::{CalendarWheel, SimRng, SimTime};
+
+/// Mean inter-event gap, microseconds (the 20 ms frame cadence).
+const MEAN_GAP_US: f64 = 20_000.0;
+const OPS: usize = 2_000_000;
+
+trait Queue {
+    fn push(&mut self, at: SimTime, v: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+struct Heap {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u64)>>,
+    seq: u64,
+}
+
+impl Queue for Heap {
+    fn push(&mut self, at: SimTime, v: u64) {
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse((at, self.seq, v)));
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.heap.pop().map(|std::cmp::Reverse((at, _, v))| (at, v))
+    }
+}
+
+impl Queue for CalendarWheel<u64> {
+    fn push(&mut self, at: SimTime, v: u64) {
+        CalendarWheel::push(self, at, v);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        CalendarWheel::pop(self)
+    }
+}
+
+fn churn(q: &mut impl Queue, depth: usize, rng: &mut SimRng) -> f64 {
+    let mut now = SimTime::from_micros(0);
+    for _ in 0..depth {
+        let dt = rng.exponential(MEAN_GAP_US) as u64;
+        q.push(now + vgprs_sim::SimDuration::from_micros(dt), 0);
+    }
+    let start = Instant::now();
+    for i in 0..OPS {
+        let (at, _) = q.pop().expect("queue stays full");
+        now = at;
+        let dt = rng.exponential(MEAN_GAP_US) as u64;
+        q.push(now + vgprs_sim::SimDuration::from_micros(dt), i as u64);
+    }
+    OPS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The simulator's real pattern: most pushes land only microseconds
+/// ahead of the clock (LAN / backplane hops), a band sits at the frame
+/// cadence, and a trickle goes minutes out (re-registration timers).
+fn sim_like(q: &mut impl Queue, depth: usize, rng: &mut SimRng) -> f64 {
+    let mut now = SimTime::from_micros(0);
+    for _ in 0..depth {
+        let dt = rng.exponential(MEAN_GAP_US) as u64;
+        q.push(now + vgprs_sim::SimDuration::from_micros(dt), 0);
+    }
+    let start = Instant::now();
+    for i in 0..OPS {
+        let (at, _) = q.pop().expect("queue stays full");
+        now = at;
+        let dt = match rng.range(0, 10) {
+            0..=6 => rng.range(50, 2_000),            // same-slot hop
+            7..=8 => rng.exponential(MEAN_GAP_US) as u64, // frame cadence
+            _ => rng.range(10_000_000, 300_000_000),  // far-future timer
+        };
+        q.push(now + vgprs_sim::SimDuration::from_micros(dt), i as u64);
+    }
+    OPS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("uniform 20 ms churn");
+    println!("{:>9} | {:>12} | {:>12} | {:>7}", "depth", "heap ops/s", "wheel ops/s", "ratio");
+    for depth in [100, 1_000, 10_000, 100_000, 1_000_000] {
+        let mut rng = SimRng::new(1);
+        let heap = churn(
+            &mut Heap {
+                heap: std::collections::BinaryHeap::new(),
+                seq: 0,
+            },
+            depth,
+            &mut rng,
+        );
+        let mut rng = SimRng::new(1);
+        let wheel = churn(&mut CalendarWheel::new(), depth, &mut rng);
+        println!(
+            "{:>9} | {:>12.0} | {:>12.0} | {:>6.2}x",
+            depth,
+            heap,
+            wheel,
+            wheel / heap
+        );
+    }
+    println!("sim-like mix (70% sub-slot, 20% frame cadence, 10% far timers)");
+    println!("{:>9} | {:>12} | {:>12} | {:>7}", "depth", "heap ops/s", "wheel ops/s", "ratio");
+    for depth in [100, 1_000, 10_000, 100_000] {
+        let mut rng = SimRng::new(1);
+        let heap = sim_like(
+            &mut Heap {
+                heap: std::collections::BinaryHeap::new(),
+                seq: 0,
+            },
+            depth,
+            &mut rng,
+        );
+        let mut rng = SimRng::new(1);
+        let wheel = sim_like(&mut CalendarWheel::new(), depth, &mut rng);
+        println!(
+            "{:>9} | {:>12.0} | {:>12.0} | {:>6.2}x",
+            depth,
+            heap,
+            wheel,
+            wheel / heap
+        );
+    }
+}

@@ -7,14 +7,22 @@ use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::timer::TimerTable;
 
 /// Handle identifying a pending timer, returned by [`Context::set_timer`].
+///
+/// Packs the timer table's `(generation, slot)` pair; see
+/// `crates/sim/src/timer.rs`. Opaque to callers — store it, pass it to
+/// [`Context::cancel_timer`], or compare it against the token handed to
+/// [`Node::on_timer`](crate::Node::on_timer).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerToken(pub(crate) u64);
 
 impl fmt::Debug for TimerToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "timer#{}", self.0)
+        let slot = self.0 & u32::MAX as u64;
+        let generation = self.0 >> 32;
+        write!(f, "timer#{slot}.{generation}")
     }
 }
 
@@ -40,7 +48,7 @@ pub struct Context<'a, M> {
     pub(crate) effects: Vec<Effect<M>>,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) stats: &'a mut Stats,
-    pub(crate) next_timer: &'a mut u64,
+    pub(crate) timers: &'a mut TimerTable,
 }
 
 impl<M> Context<'_, M> {
@@ -66,8 +74,7 @@ impl<M> Context<'_, M> {
     /// Arms a one-shot timer that fires after `delay` with the given `tag`.
     /// Returns a token usable with [`cancel_timer`](Context::cancel_timer).
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerToken {
-        let token = TimerToken(*self.next_timer);
-        *self.next_timer += 1;
+        let token = self.timers.alloc();
         self.effects.push(Effect::Timer {
             at: self.now + delay,
             token,
@@ -122,7 +129,7 @@ mod tests {
     fn ctx<'a>(
         rng: &'a mut SimRng,
         stats: &'a mut Stats,
-        next_timer: &'a mut u64,
+        timers: &'a mut TimerTable,
     ) -> Context<'a, u32> {
         Context {
             now: SimTime::from_micros(1_000),
@@ -130,7 +137,7 @@ mod tests {
             effects: Vec::new(),
             rng,
             stats,
-            next_timer,
+            timers,
         }
     }
 
@@ -138,7 +145,7 @@ mod tests {
     fn effects_accumulate_in_order() {
         let mut rng = SimRng::new(0);
         let mut stats = Stats::new();
-        let mut nt = 0;
+        let mut nt = TimerTable::new();
         let mut c = ctx(&mut rng, &mut stats, &mut nt);
         c.send(NodeId(1), 42);
         let t = c.set_timer(SimDuration::from_millis(5), 9);
@@ -158,19 +165,19 @@ mod tests {
     fn timer_tokens_unique() {
         let mut rng = SimRng::new(0);
         let mut stats = Stats::new();
-        let mut nt = 0;
+        let mut nt = TimerTable::new();
         let mut c = ctx(&mut rng, &mut stats, &mut nt);
         let a = c.set_timer(SimDuration::ZERO, 0);
         let b = c.set_timer(SimDuration::ZERO, 0);
         assert_ne!(a, b);
-        assert_eq!(nt, 2);
+        assert_eq!(nt.live(), 2);
     }
 
     #[test]
     fn stats_accessible() {
         let mut rng = SimRng::new(0);
         let mut stats = Stats::new();
-        let mut nt = 0;
+        let mut nt = TimerTable::new();
         {
             let mut c = ctx(&mut rng, &mut stats, &mut nt);
             c.count("x");
@@ -187,7 +194,7 @@ mod tests {
     fn identity_accessors() {
         let mut rng = SimRng::new(0);
         let mut stats = Stats::new();
-        let mut nt = 0;
+        let mut nt = TimerTable::new();
         let c = ctx(&mut rng, &mut stats, &mut nt);
         assert_eq!(c.id(), NodeId(3));
         assert_eq!(c.now(), SimTime::from_micros(1_000));

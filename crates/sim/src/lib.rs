@@ -68,9 +68,12 @@ mod node;
 mod rng;
 mod stats;
 mod time;
+mod timer;
 mod trace;
+mod wheel;
 
 pub use context::{Context, TimerToken};
+pub use event::Kernel;
 pub use interface::Interface;
 pub use ladder::LadderDiagram;
 pub use link::{Link, LinkConfig, LinkQuality};
@@ -80,3 +83,4 @@ pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
+pub use wheel::CalendarWheel;

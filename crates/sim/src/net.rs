@@ -1,16 +1,18 @@
 //! The simulated network: nodes, links, and the execution loop.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::context::{Context, Effect, TimerToken};
-use crate::event::{EventKind, EventQueue};
+use crate::context::{Context, Effect};
+use crate::event::{EventKind, EventQueue, Kernel};
 use crate::interface::Interface;
 use crate::link::{Link, LinkConfig, LinkQuality};
 use crate::node::{Node, NodeId, Payload};
 use crate::rng::SimRng;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::timer::TimerTable;
 use crate::trace::Trace;
 
 /// Object-safe shim adding downcast support to every [`Node`].
@@ -32,6 +34,30 @@ impl<M: Payload, T: Node<M> + Send + 'static> AnyNode<M> for T {
     }
 }
 
+/// Fibonacci-multiply hasher for link keys, which are looked up once per
+/// message send. The keys are two small `NodeId`s under simulation
+/// control (no adversarial input), so the default SipHash buys nothing
+/// but latency on the hot path. Lookup-only: link iteration order never
+/// reaches traces, stats, or fingerprints.
+#[derive(Default)]
+struct LinkKeyHasher(u64);
+
+impl Hasher for LinkKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0.rotate_left(32) ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type LinkMap = HashMap<(NodeId, NodeId), Link, BuildHasherDefault<LinkKeyHasher>>;
+
 /// Result of an execution call such as
 /// [`Network::run_until_quiescent`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,38 +76,65 @@ pub struct RunOutcome {
 pub struct Network<M: Payload> {
     now: SimTime,
     nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
-    links: HashMap<(NodeId, NodeId), Link>,
+    links: LinkMap,
     queue: EventQueue<M>,
     rng: SimRng,
     stats: Stats,
     trace: Trace,
-    cancelled: HashSet<TimerToken>,
-    next_timer: u64,
+    timers: TimerTable,
     started: bool,
     max_events: u64,
     trace_details: bool,
     trace_capture: bool,
+    /// Scratch buffer reused across dispatches so steady-state callbacks
+    /// do not allocate an effects vector per event.
+    fx: Vec<Effect<M>>,
+    // Kernel counters, batched per run call instead of a name lookup per
+    // event; flushed into `stats` by `flush_counts`.
+    k_delivered: u64,
+    k_fired: u64,
+    k_cancelled: u64,
+    k_lost: u64,
 }
 
 impl<M: Payload> Network<M> {
     /// Creates an empty network seeded with `seed`. Identical seeds and
     /// identical scenario code produce identical traces.
+    ///
+    /// Runs on the default timer-wheel kernel; see
+    /// [`with_kernel`](Network::with_kernel) to pick explicitly.
     pub fn new(seed: u64) -> Self {
+        Self::with_kernel(seed, Kernel::default())
+    }
+
+    /// Creates an empty network on an explicit event [`Kernel`]. Both
+    /// kernels produce bit-identical schedules; the heap survives as the
+    /// differential oracle the wheel is validated against.
+    pub fn with_kernel(seed: u64, kernel: Kernel) -> Self {
         Network {
             now: SimTime::ZERO,
             nodes: Vec::new(),
-            links: HashMap::new(),
-            queue: EventQueue::new(),
+            links: LinkMap::default(),
+            queue: EventQueue::new(kernel),
             rng: SimRng::new(seed),
             stats: Stats::new(),
             trace: Trace::new(),
-            cancelled: HashSet::new(),
-            next_timer: 0,
+            timers: TimerTable::new(),
             started: false,
             max_events: 50_000_000,
             trace_details: true,
             trace_capture: true,
+            fx: Vec::new(),
+            k_delivered: 0,
+            k_fired: 0,
+            k_cancelled: 0,
+            k_lost: 0,
         }
+    }
+
+    /// The event kernel this network runs on.
+    pub fn kernel(&self) -> Kernel {
+        self.queue.kernel()
     }
 
     /// Disables per-message `Debug` detail capture in the trace (labels
@@ -220,20 +273,22 @@ impl<M: Payload> Network<M> {
     pub fn run_until_quiescent(&mut self) -> RunOutcome {
         self.ensure_started();
         let mut events = 0;
+        let mut quiescent = false;
         while events < self.max_events {
-            if !self.step_inner() {
-                return RunOutcome {
-                    events,
-                    at: self.now,
-                    quiescent: true,
-                };
-            }
+            let Some((at, kind)) = self.queue.pop() else {
+                quiescent = true;
+                break;
+            };
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.process_event(kind);
             events += 1;
         }
+        self.flush_counts();
         RunOutcome {
             events,
             at: self.now,
-            quiescent: false,
+            quiescent,
         }
     }
 
@@ -243,18 +298,19 @@ impl<M: Payload> Network<M> {
         self.ensure_started();
         let mut events = 0;
         while events < self.max_events {
-            match self.queue.peek_time() {
-                Some(t) if t <= deadline => {
-                    self.step_inner();
-                    events += 1;
-                }
-                _ => break,
-            }
+            let Some((at, kind)) = self.queue.pop_at_or_before(deadline) else {
+                break;
+            };
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.process_event(kind);
+            events += 1;
         }
         let quiescent = events < self.max_events;
         if self.now < deadline {
             self.now = deadline;
         }
+        self.flush_counts();
         RunOutcome {
             events,
             at: self.now,
@@ -271,7 +327,17 @@ impl<M: Payload> Network<M> {
     /// Processes a single event. Returns false if the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        self.step_inner()
+        let stepped = match self.queue.pop() {
+            Some((at, kind)) => {
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                self.process_event(kind);
+                true
+            }
+            None => false,
+        };
+        self.flush_counts();
+        stepped
     }
 
     fn ensure_started(&mut self) {
@@ -284,20 +350,36 @@ impl<M: Payload> Network<M> {
         }
     }
 
-    fn step_inner(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(event.at >= self.now, "time went backwards");
-        self.now = event.at;
-        match event.kind {
+    /// Moves the batched kernel counters into [`Stats`]. Called at the end
+    /// of every run entry point so external readers always see totals.
+    fn flush_counts(&mut self) {
+        if self.k_delivered > 0 {
+            self.stats.count_by("sim.delivered", self.k_delivered);
+            self.k_delivered = 0;
+        }
+        if self.k_fired > 0 {
+            self.stats.count_by("sim.timer_fired", self.k_fired);
+            self.k_fired = 0;
+        }
+        if self.k_cancelled > 0 {
+            self.stats.count_by("sim.timer_cancelled", self.k_cancelled);
+            self.k_cancelled = 0;
+        }
+        if self.k_lost > 0 {
+            self.stats.count_by("sim.lost", self.k_lost);
+            self.k_lost = 0;
+        }
+    }
+
+    fn process_event(&mut self, kind: EventKind<M>) {
+        match kind {
             EventKind::Deliver {
                 from,
                 to,
                 iface,
                 msg,
             } => {
-                self.stats.count("sim.delivered");
+                self.k_delivered += 1;
                 if self.trace_capture && msg.traceable() {
                     let detail = if self.trace_details {
                         format!("{msg:?}")
@@ -310,18 +392,20 @@ impl<M: Payload> Network<M> {
                 self.dispatch(to, |n, ctx| n.on_message(ctx, from, iface, msg));
             }
             EventKind::Timer { node, token, tag } => {
-                if self.cancelled.remove(&token) {
-                    self.stats.count("sim.timer_cancelled");
-                } else {
-                    self.stats.count("sim.timer_fired");
+                if self.timers.try_fire(token) {
+                    self.k_fired += 1;
                     self.dispatch(node, |n, ctx| n.on_timer(ctx, token, tag));
+                } else {
+                    // Stale event: the timer was cancelled after this event
+                    // was queued. Counting it here (not at cancel time)
+                    // matches the heap kernel's historical semantics.
+                    self.k_cancelled += 1;
                 }
             }
             EventKind::Start { node } => {
                 self.dispatch(node, |n, ctx| n.on_start(ctx));
             }
         }
-        true
     }
 
     fn dispatch<F>(&mut self, id: NodeId, f: F)
@@ -335,22 +419,27 @@ impl<M: Payload> Network<M> {
         let mut ctx = Context {
             now: self.now,
             self_id: id,
-            effects: Vec::new(),
+            effects: std::mem::take(&mut self.fx),
             rng: &mut self.rng,
             stats: &mut self.stats,
-            next_timer: &mut self.next_timer,
+            timers: &mut self.timers,
         };
         f(&mut *node, &mut ctx);
-        let effects = std::mem::take(&mut ctx.effects);
+        let mut effects = std::mem::take(&mut ctx.effects);
         self.nodes[idx] = Some(node);
-        self.apply_effects(id, effects);
+        self.apply_effects(id, &mut effects);
+        // Hand the (now drained) buffer back for the next dispatch.
+        self.fx = effects;
     }
 
-    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect<M>>) {
-        for effect in effects {
+    fn apply_effects(&mut self, from: NodeId, effects: &mut Vec<Effect<M>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
-                    let link = *self.link_between(from, to).unwrap_or_else(|| {
+                    // Field-level access (not `link_between`) so the link
+                    // borrow stays disjoint from `self.rng` and
+                    // `self.queue` below — no per-send copy of the link.
+                    let link = self.links.get(&Self::link_key(from, to)).unwrap_or_else(|| {
                         panic!(
                             "node {from} ({}) sent {} to {to} ({}) but no link exists",
                             self.trace.node_name(from),
@@ -358,7 +447,11 @@ impl<M: Payload> Network<M> {
                             self.trace.node_name(to),
                         )
                     });
-                    let quality = link.quality_from(from);
+                    let quality = if from == link.a {
+                        &link.config.forward
+                    } else {
+                        &link.config.reverse
+                    };
                     match quality.sample(msg.wire_size(), msg.reliable(), &mut self.rng) {
                         Some(delay) => {
                             self.queue.push(
@@ -372,7 +465,7 @@ impl<M: Payload> Network<M> {
                             );
                         }
                         None => {
-                            self.stats.count("sim.lost");
+                            self.k_lost += 1;
                         }
                     }
                 }
@@ -380,7 +473,7 @@ impl<M: Payload> Network<M> {
                     self.queue.push(at, EventKind::Timer { node: from, token, tag });
                 }
                 Effect::CancelTimer { token } => {
-                    self.cancelled.insert(token);
+                    self.timers.cancel(token);
                 }
                 Effect::Note { text } => {
                     if self.trace_capture {
@@ -417,13 +510,24 @@ impl<M: Payload> Network<M> {
     }
 
     /// Statistics collected so far.
+    ///
+    /// Kernel counters (`sim.delivered`, `sim.timer_fired`, …) are batched
+    /// during a run and flushed when each run call returns, so totals read
+    /// between runs are always exact.
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
 
     /// Mutable statistics access for scenario-level counters.
     pub fn stats_mut(&mut self) -> &mut Stats {
+        self.flush_counts();
         &mut self.stats
+    }
+
+    /// Number of currently armed timers (set but neither fired nor
+    /// cancelled). Cancel-after-fire and double-cancel leave no residue.
+    pub fn armed_timers(&self) -> usize {
+        self.timers.live()
     }
 
     /// Immutable access to a node's concrete state.
@@ -471,6 +575,7 @@ impl<M: Payload> std::fmt::Debug for Network<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::TimerToken;
 
     #[derive(Clone, Debug, PartialEq)]
     enum Msg {
@@ -613,6 +718,88 @@ mod tests {
         net.run_until_quiescent();
         assert_eq!(net.node::<Timed>(id).unwrap().fired, vec![1, 3]);
         assert_eq!(net.stats().counter("sim.timer_cancelled"), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_residual_state() {
+        // Regression test for the old `cancelled: HashSet<TimerToken>`
+        // leak: cancelling a timer whose event had already fired (or
+        // cancelling twice) inserted a token nothing would ever remove.
+        struct LateCancel {
+            token: Option<TimerToken>,
+            fired: u32,
+        }
+        impl Node<Msg> for LateCancel {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.token = Some(ctx.set_timer(SimDuration::from_millis(1), 1));
+                // Fires after the first timer; cancels it post-fire.
+                ctx.set_timer(SimDuration::from_millis(2), 2);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, Msg>, _f: NodeId, _i: Interface, _m: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerToken, tag: u64) {
+                self.fired += 1;
+                if tag == 2 {
+                    let stale = self.token.take().expect("token stored on start");
+                    ctx.cancel_timer(stale); // cancel-after-fire
+                    ctx.cancel_timer(stale); // double cancel
+                }
+            }
+        }
+        for kernel in [Kernel::Heap, Kernel::Wheel] {
+            let mut net = Network::with_kernel(0, kernel);
+            let id = net.add_node("late", LateCancel { token: None, fired: 0 });
+            net.run_until_quiescent();
+            assert_eq!(net.node::<LateCancel>(id).unwrap().fired, 2);
+            // Cancelling after the fire must not count as a cancellation…
+            assert_eq!(net.stats().counter("sim.timer_cancelled"), 0);
+            assert_eq!(net.stats().counter("sim.timer_fired"), 2);
+            // …and must leave no residual bookkeeping behind.
+            assert_eq!(net.armed_timers(), 0, "kernel {kernel}");
+            assert_eq!(net.timers.slots(), 2, "kernel {kernel}");
+        }
+    }
+
+    #[test]
+    fn timer_churn_reuses_slots() {
+        // A long chain of set → fire → cancel-after-fire cycles must not
+        // grow the timer table: the table is bounded by peak concurrency.
+        struct Chain {
+            prev: Option<TimerToken>,
+            remaining: u32,
+        }
+        impl Node<Msg> for Chain {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.prev = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, Msg>, _f: NodeId, _i: Interface, _m: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerToken, _tag: u64) {
+                if let Some(stale) = self.prev.take() {
+                    ctx.cancel_timer(stale); // always post-fire, always a no-op
+                }
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    self.prev = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+                }
+            }
+        }
+        let mut net = Network::new(0);
+        net.add_node("chain", Chain { prev: None, remaining: 1_000 });
+        net.run_until_quiescent();
+        assert_eq!(net.stats().counter("sim.timer_fired"), 1_001);
+        assert_eq!(net.armed_timers(), 0);
+        assert!(
+            net.timers.slots() <= 2,
+            "slot churn must stay bounded, got {}",
+            net.timers.slots()
+        );
+    }
+
+    #[test]
+    fn both_kernels_available() {
+        let net: Network<Msg> = Network::new(0);
+        assert_eq!(net.kernel(), Kernel::Wheel);
+        let net: Network<Msg> = Network::with_kernel(0, Kernel::Heap);
+        assert_eq!(net.kernel(), Kernel::Heap);
     }
 
     #[test]

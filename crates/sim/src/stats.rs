@@ -8,8 +8,9 @@
 //! `max` are exact. Two histograms bucket identically, so shard-local
 //! histograms merge into a global one without losing resolution.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// A monotonically increasing named counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -231,11 +232,67 @@ impl fmt::Debug for Histogram {
     }
 }
 
+/// FNV-1a for stat-name interning. Deterministic (zero-seeded via
+/// `BuildHasherDefault`, unlike `RandomState`) and far cheaper than
+/// SipHash on the short `&'static str` names the hot paths pass —
+/// counter bumps happen on every voice frame at population scale.
+#[derive(Default)]
+struct NameHasher(u64);
+
+impl Hasher for NameHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Name-interned storage shared by counters and histograms: the hash
+/// index resolves a name to a slot in `entries` once, and the value
+/// lives in a flat vector from then on. Iteration is always name-sorted
+/// (see [`Registry::sorted`]), so nothing downstream — fingerprints,
+/// rendering, merges — can observe hash-map order.
+#[derive(Clone, Debug, Default)]
+struct Registry<V> {
+    index: HashMap<Box<str>, u32, BuildHasherDefault<NameHasher>>,
+    entries: Vec<(Box<str>, V)>,
+}
+
+impl<V: Default> Registry<V> {
+    fn slot(&mut self, name: &str) -> &mut V {
+        if let Some(&i) = self.index.get(name) {
+            return &mut self.entries[i as usize].1;
+        }
+        let i = self.entries.len() as u32;
+        self.index.insert(name.into(), i);
+        self.entries.push((name.into(), V::default()));
+        &mut self.entries[i as usize].1
+    }
+
+    fn get(&self, name: &str) -> Option<&V> {
+        self.index.get(name).map(|&i| &self.entries[i as usize].1)
+    }
+
+    /// Entries in name order. Sorting ~dozens of keys on each (rare)
+    /// read is what buys the allocation- and compare-free hot path.
+    fn sorted(&self) -> Vec<&(Box<str>, V)> {
+        let mut refs: Vec<_> = self.entries.iter().collect();
+        refs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        refs
+    }
+}
+
 /// The statistics sink shared by every node in a [`Network`](crate::Network).
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    counters: Registry<u64>,
+    histograms: Registry<Histogram>,
 }
 
 impl Stats {
@@ -251,7 +308,7 @@ impl Stats {
 
     /// Increments `name` by `value`.
     pub fn count_by(&mut self, name: &str, value: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += value;
+        *self.counters.slot(name) += value;
     }
 
     /// Current value of a counter (0 if never incremented).
@@ -261,10 +318,7 @@ impl Stats {
 
     /// Records an observation under `name`.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .observe(value);
+        self.histograms.slot(name).observe(value);
     }
 
     /// The named histogram, if any observation was recorded.
@@ -274,21 +328,27 @@ impl Stats {
 
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters
+            .sorted()
+            .into_iter()
+            .map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Iterates over all histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        self.histograms
+            .sorted()
+            .into_iter()
+            .map(|(k, v)| (k.as_ref(), v))
     }
 
     /// Folds another sink into this one (counters add; histograms merge).
     pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (k, v) in &other.counters.entries {
+            *self.counters.slot(k) += v;
         }
-        for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
+        for (k, h) in &other.histograms.entries {
+            self.histograms.slot(k).merge(h);
         }
     }
 }
@@ -296,11 +356,11 @@ impl Stats {
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "counters:")?;
-        for (k, v) in &self.counters {
+        for (k, v) in self.counters() {
             writeln!(f, "  {k}: {v}")?;
         }
         writeln!(f, "histograms:")?;
-        for (k, h) in &self.histograms {
+        for (k, h) in self.histograms() {
             writeln!(
                 f,
                 "  {k}: n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
@@ -548,6 +608,20 @@ mod tests {
         let out = s.to_string();
         assert!(out.contains("calls: 1"));
         assert!(out.contains("setup_ms"));
+    }
+
+    #[test]
+    fn counter_iteration_order_is_name_sorted() {
+        // The interned store is insertion-ordered internally; the public
+        // iteration (which feeds fingerprints) must stay name-sorted.
+        let mut s = Stats::new();
+        s.count("zeta");
+        s.count("alpha");
+        s.count("mid");
+        s.count("zeta");
+        let names: Vec<&str> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(s.counter("zeta"), 2);
     }
 
     #[test]

@@ -24,6 +24,10 @@ impl SimTime {
     /// The start of the simulation.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far end of simulated time — a sentinel deadline meaning
+    /// "no deadline" (≈584,542 years in).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates an instant `micros` microseconds after the simulation start.
     pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros)
@@ -284,5 +288,11 @@ mod tests {
     #[test]
     fn time_display_whole_ms() {
         assert_eq!(SimTime::from_micros(3_000).to_string(), "3ms");
+    }
+
+    #[test]
+    fn max_is_latest_instant() {
+        assert!(SimTime::MAX > SimTime::from_micros(u64::MAX - 1));
+        assert_eq!(SimTime::MAX.as_micros(), u64::MAX);
     }
 }

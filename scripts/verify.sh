@@ -15,6 +15,11 @@ echo "==> cross-shard determinism suite (release)"
 # run it in release too so the optimized schedule is also covered.
 cargo test --release -q -p vgprs-load --test determinism
 
+echo "==> event-kernel differential smoke (heap vs wheel fingerprints)"
+# A tiny busy-hour run on both kernels; fails only if the wheel's
+# schedule diverges from the heap oracle. Throughput is not gated here.
+cargo run --release -q -p vgprs-bench --bin harness -- kernelbench --check
+
 echo "==> no ignored tests"
 # An #[ignore]d test is a silently skipped promise. Fail loudly instead.
 if grep -rn '#\[ignore' crates tests; then
