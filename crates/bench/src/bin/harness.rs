@@ -12,13 +12,17 @@
 //!                  [--max-load F] [--refine N] [--json PATH]
 //! harness kernelbench [--subscribers N] [--shards N] [--repeat N]
 //!                     [--out PATH] [--check]
+//! harness chaos [--subscribers N] [--shards N] [--threads N] [--seed N]
+//!               [--window-secs N] [--rate F] [--hold SECS] [--out PATH]
+//!               [--check]
 //! harness bench
 //! ```
 //!
 //! With no argument it runs every paper experiment (`all`). The outputs
 //! recorded in `EXPERIMENTS.md` are produced by `harness all`, the
-//! capacity table by `harness capacity`, and the event-kernel baseline
-//! in `BENCH_kernel.json` by `harness kernelbench`.
+//! capacity table by `harness capacity`, the event-kernel baseline
+//! in `BENCH_kernel.json` by `harness kernelbench`, and the resilience
+//! matrix in `BENCH_chaos.json` by `harness chaos`.
 
 use std::time::Instant;
 
@@ -29,7 +33,7 @@ use vgprs_bench::experiments::{
 use vgprs_bench::scenarios::{
     intersystem_handoff, tromboning_classic, tromboning_vgprs, SingleZone,
 };
-use vgprs_load::{capacity_knee, run_load, CallMix, LoadConfig};
+use vgprs_load::{capacity_knee, run_load, CallMix, FaultClass, FaultPlanConfig, LoadConfig};
 use vgprs_sim::{Kernel, LadderDiagram, SimDuration};
 use vgprs_wire::{CallId, Command, Message};
 
@@ -42,6 +46,7 @@ fn main() {
         "load" => return load_cmd(&args[1..]),
         "capacity" => return capacity_cmd(&args[1..]),
         "kernelbench" => return kernelbench_cmd(&args[1..]),
+        "chaos" => return chaos_cmd(&args[1..]),
         "bench" => return bench_cmd(),
         _ => {}
     }
@@ -73,7 +78,7 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment {arg:?}; expected fig1..fig9, c1..c5, c2b, \
-             load, capacity, kernelbench, bench or all"
+             load, capacity, kernelbench, chaos, bench or all"
         );
         std::process::exit(2);
     }
@@ -404,6 +409,256 @@ fn kernelbench_json(
     out.push_str(&format!("  \"speedup\": {speedup:.3}\n"));
     out.push_str("}\n");
     out
+}
+
+/// One cell of the chaos matrix: a fault class at an intensity (or the
+/// zero-fault baseline), with the resilience KPIs it produced.
+struct ChaosCell {
+    label: &'static str,
+    intensity: f64,
+    faults_injected: u64,
+    attempts: u64,
+    dropped_faulted: u64,
+    dropped_baseline: u64,
+    drop_rate: f64,
+    recovery_n: u64,
+    recovery_p50: f64,
+    recovery_p99: f64,
+    ras_retries: u64,
+    arq_retries: u64,
+    redials: u64,
+    unavailability_secs: f64,
+    frame_loss: f64,
+    mos: f64,
+    fingerprint: u64,
+}
+
+fn run_chaos_cell(base: &LoadConfig, class: Option<FaultClass>, intensity: f64) -> ChaosCell {
+    let mut cfg = base.clone();
+    cfg.faults = match class {
+        Some(c) => FaultPlanConfig::only(c, intensity),
+        None => FaultPlanConfig::default(),
+    };
+    let report = run_load(&cfg);
+    let dropped_faulted = FaultClass::ALL
+        .into_iter()
+        .map(|c| report.dropped_by_class(c))
+        .sum::<u64>();
+    let recovery = report.recovery_time();
+    let (ras_retries, arq_retries) = report.guard_retries();
+    ChaosCell {
+        label: class.map_or("baseline", FaultClass::key),
+        intensity,
+        faults_injected: report.faults_injected(),
+        attempts: report.attempts(),
+        dropped_faulted,
+        dropped_baseline: report.dropped_baseline(),
+        drop_rate: if report.attempts() == 0 {
+            0.0
+        } else {
+            dropped_faulted as f64 / report.attempts() as f64
+        },
+        recovery_n: recovery.count(),
+        recovery_p50: recovery.percentile(50.0),
+        recovery_p99: recovery.percentile(99.0),
+        ras_retries,
+        arq_retries,
+        redials: report.redial_attempts(),
+        unavailability_secs: FaultClass::ALL
+            .into_iter()
+            .map(|c| report.unavailability_secs(c))
+            .sum(),
+        frame_loss: report.frame_loss(),
+        mos: report.mos(),
+        fingerprint: report.fingerprint(),
+    }
+}
+
+/// Resilience matrix: every fault class at two intensities against the
+/// zero-fault baseline, on one fixed workload. Records drop rates,
+/// recovery percentiles and retry volumes in `BENCH_chaos.json`.
+/// `--check` instead verifies the determinism contract for faulted runs
+/// (thread count x kernel, plus zero-intensity equivalence) on a tiny
+/// population and exits nonzero on any divergence.
+fn chaos_cmd(rest: &[String]) {
+    let flags = Flags(rest);
+    if flags.has("--check") {
+        return chaos_check(&flags);
+    }
+    let mut base = LoadConfig {
+        subscribers: flags.parse("--subscribers", 512),
+        shards: flags.parse("--shards", 2),
+        threads: flags.parse("--threads", 0),
+        seed: flags.parse("--seed", SEED),
+        ..LoadConfig::default()
+    };
+    base.population.window_secs = flags.parse("--window-secs", 120);
+    base.population.calls_per_sub_hour = flags.parse("--rate", 60.0);
+    base.population.mean_hold_secs = flags.parse("--hold", 20.0);
+    heading(&format!(
+        "Chaos matrix — {} subscribers, {} shards, seed {}: fault classes x intensity",
+        base.subscribers,
+        base.effective_shards(),
+        base.seed
+    ));
+    let mut cells = vec![run_chaos_cell(&base, None, 0.0)];
+    for class in FaultClass::ALL {
+        for intensity in [0.3, 1.0] {
+            cells.push(run_chaos_cell(&base, Some(class), intensity));
+        }
+    }
+    println!(
+        "  {:<13} {:>5} | {:>6} {:>7} {:>6} | {:>9} {:>9} {:>4} | {:>7} {:>5}",
+        "class", "int", "faults", "drop%", "redial", "rec p50", "rec p99", "n", "loss%", "MOS"
+    );
+    for c in &cells {
+        println!(
+            "  {:<13} {:>5.1} | {:>6} {:>6.2}% {:>6} | {:>7.1}ms {:>7.1}ms {:>4} | {:>6.2}% {:>5.2}",
+            c.label,
+            c.intensity,
+            c.faults_injected,
+            c.drop_rate * 100.0,
+            c.redials,
+            c.recovery_p50,
+            c.recovery_p99,
+            c.recovery_n,
+            c.frame_loss * 100.0,
+            c.mos
+        );
+    }
+    let path = flags.get("--out").unwrap_or("BENCH_chaos.json");
+    write_file(path, &chaos_json(&base, &cells));
+    println!("  recorded: {path}");
+}
+
+fn chaos_json(base: &LoadConfig, cells: &[ChaosCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"workload\": \"busy_hour_chaos\",\n");
+    out.push_str(&format!("  \"subscribers\": {},\n", base.subscribers));
+    out.push_str(&format!("  \"shards\": {},\n", base.effective_shards()));
+    out.push_str(&format!("  \"seed\": {},\n", base.seed));
+    out.push_str(&format!(
+        "  \"window_secs\": {},\n",
+        base.population.window_secs
+    ));
+    out.push_str("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"class\": \"{}\", \"intensity\": {}, \"faults_injected\": {}, \
+             \"attempts\": {}, \"dropped_faulted\": {}, \"dropped_baseline\": {}, \
+             \"drop_rate\": {:.6}, \"recovery_n\": {}, \"recovery_p50_ms\": {:.1}, \
+             \"recovery_p99_ms\": {:.1}, \"ras_retries\": {}, \"arq_retries\": {}, \
+             \"redial_attempts\": {}, \"unavailability_secs\": {:.1}, \
+             \"frame_loss\": {:.6}, \"mos\": {:.3}, \"fingerprint\": \"{:016x}\"}}",
+            c.label,
+            c.intensity,
+            c.faults_injected,
+            c.attempts,
+            c.dropped_faulted,
+            c.dropped_baseline,
+            c.drop_rate,
+            c.recovery_n,
+            c.recovery_p50,
+            c.recovery_p99,
+            c.ras_retries,
+            c.arq_retries,
+            c.redials,
+            c.unavailability_secs,
+            c.frame_loss,
+            c.mos,
+            c.fingerprint
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The chaos determinism gate: a fixed fault plan must fingerprint
+/// identically at every thread count on both kernels, and a
+/// zero-intensity plan must reproduce the fault-free run exactly.
+fn chaos_check(flags: &Flags<'_>) {
+    let mut base = LoadConfig {
+        subscribers: flags.parse("--subscribers", 96),
+        shards: flags.parse("--shards", 4),
+        threads: 1,
+        seed: flags.parse("--seed", SEED),
+        ..LoadConfig::default()
+    };
+    base.population.window_secs = flags.parse("--window-secs", 90);
+    base.population.calls_per_sub_hour = flags.parse("--rate", 40.0);
+    base.population.mean_hold_secs = flags.parse("--hold", 20.0);
+    heading(&format!(
+        "Chaos determinism check — {} subscribers, {} shards, seed {}",
+        base.subscribers,
+        base.effective_shards(),
+        base.seed
+    ));
+    let mut failed = false;
+
+    let plain = run_load(&base);
+    let zero = run_load(&LoadConfig {
+        faults: FaultPlanConfig::all(0.0),
+        ..base.clone()
+    });
+    if plain.fingerprint() == zero.fingerprint() {
+        println!(
+            "  zero-intensity == fault-free: {:016x}",
+            plain.fingerprint()
+        );
+    } else {
+        eprintln!(
+            "  ZERO-INTENSITY DIVERGENCE: fault-free {:016x} != zero-plan {:016x}",
+            plain.fingerprint(),
+            zero.fingerprint()
+        );
+        failed = true;
+    }
+
+    let faulted = LoadConfig {
+        faults: FaultPlanConfig::all(1.0),
+        ..base
+    };
+    let reference = run_load(&faulted);
+    println!(
+        "  faulted reference (1 thread, wheel): {:016x} ({} faults)",
+        reference.fingerprint(),
+        reference.faults_injected()
+    );
+    if reference.faults_injected() == 0 {
+        eprintln!("  NO FAULTS INJECTED: the check is vacuous");
+        failed = true;
+    }
+    for threads in [1usize, 2, 8] {
+        for kernel in [Kernel::Wheel, Kernel::Heap] {
+            if threads == 1 && kernel == Kernel::Wheel {
+                continue; // that is the reference itself
+            }
+            let other = run_load(&LoadConfig {
+                threads,
+                kernel,
+                ..faulted.clone()
+            });
+            if other.fingerprint() == reference.fingerprint() {
+                println!("  {threads} thread(s) on {kernel}: identical");
+            } else {
+                eprintln!(
+                    "  FAULTED DIVERGENCE at {threads} thread(s) on {kernel}: \
+                     {:016x} != {:016x}",
+                    other.fingerprint(),
+                    reference.fingerprint()
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  chaos determinism holds");
 }
 
 fn write_file(path: &str, contents: &str) {

@@ -94,6 +94,10 @@ pub struct VgprsZoneConfig {
     pub auth_on_access: bool,
     /// Run the VMSC in the paper's idle-deactivation ablation mode.
     pub deactivate_idle_contexts: bool,
+    /// Arm VMSC recovery guard timers (RAS/ARQ retry, setup supervision).
+    /// Off by default so fault-free runs keep their historical event
+    /// streams bit-identical.
+    pub resilience: bool,
     /// Link latencies.
     pub latency: LatencyProfile,
 }
@@ -114,6 +118,7 @@ impl VgprsZoneConfig {
             pdch_bps: 40_000,
             auth_on_access: true,
             deactivate_idle_contexts: false,
+            resilience: false,
             latency: LatencyProfile::default(),
         }
     }
@@ -197,6 +202,7 @@ impl VgprsZone {
                     country_code: cfg.country_code.clone(),
                     gk: cfg.gk_addr,
                     deactivate_idle_contexts: cfg.deactivate_idle_contexts,
+                    resilience: cfg.resilience,
                 },
                 vlr,
                 sgsn,

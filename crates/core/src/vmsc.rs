@@ -23,20 +23,48 @@
 
 use std::collections::HashMap;
 
-use vgprs_sim::{Context, Interface, Node, NodeId, SimTime};
+use vgprs_sim::{Backoff, Context, Interface, Node, NodeId, SimDuration, SimTime, TimerToken};
 use vgprs_wire::{
-    CallId, Cause, CellId, Cic, ConnRef, Crv, Dtap, GmmMessage, Imsi, IpPacket, IpPayload,
-    Ipv4Addr, MapMessage, Message, MsIdentity, Msisdn, Nsapi, Q931Kind, Q931Message, QosProfile,
-    RasMessage, RtpPacket, Tmsi, TransportAddr, PAYLOAD_TYPE_GSM,
+    CallId, Cause, CellId, Cic, Command, ConnRef, Crv, Dtap, GmmMessage, Imsi, IpPacket,
+    IpPayload, Ipv4Addr, MapMessage, Message, MsIdentity, Msisdn, Nsapi, Q931Kind, Q931Message,
+    QosProfile, RasMessage, RtpPacket, Tmsi, TransportAddr, PAYLOAD_TYPE_GSM,
 };
 
 /// Well-known port for H.225 call signaling.
 const H225_PORT: u16 = 1720;
 /// How long to wait for a paging response before clearing the call.
-const PAGING_TIMEOUT: vgprs_sim::SimDuration = vgprs_sim::SimDuration::from_secs(10);
-/// Timer-tag namespace bit for paging supervision (the low bits carry
-/// the call id; future timer kinds must use their own namespace bit).
-const TAG_PAGING: u64 = 1 << 62;
+const PAGING_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+/// Timer tags are namespaced by their top four bits; the low
+/// [`TAG_SHIFT`] bits carry a call id or guard id.
+const TAG_SHIFT: u32 = 60;
+/// Mask extracting a tag's payload (call id / guard id).
+const TAG_MASK: u64 = (1 << TAG_SHIFT) - 1;
+/// RAS registration guard (resilience mode).
+const NS_RAS: u64 = 2;
+/// Admission (ARQ) guard (resilience mode).
+const NS_ARQ: u64 = 3;
+/// Paging supervision. `4 << TAG_SHIFT` equals the historical
+/// `1 << 62` namespace bit, so existing traces keep their tags.
+const NS_PAGING: u64 = 4;
+/// Q.931 setup supervision (resilience mode).
+const NS_SETUP: u64 = 5;
+/// Bounded retry schedule for RAS registration (RRQ) guards.
+const RAS_BACKOFF: Backoff = Backoff {
+    base: SimDuration::from_millis(1_000),
+    factor: 2,
+    cap: SimDuration::from_millis(4_000),
+    max_attempts: 3,
+};
+/// Bounded retry schedule for admission (ARQ) guards.
+const ARQ_BACKOFF: Backoff = Backoff {
+    base: SimDuration::from_millis(1_000),
+    factor: 2,
+    cap: SimDuration::from_millis(4_000),
+    max_attempts: 3,
+};
+/// How long an MO call may sit between Q.931 Setup and Connect before
+/// recovery releases it (resilience mode).
+const SETUP_SUPERVISION: SimDuration = SimDuration::from_secs(12);
 /// Port the VMSC terminates RTP on, per MS.
 const MEDIA_PORT: u16 = 30_000;
 
@@ -63,6 +91,32 @@ pub struct VmscConfig {
     /// round trip; mobile-terminated delivery is not supported in this
     /// mode (it would need the TR's static addresses). Default `false`.
     pub deactivate_idle_contexts: bool,
+    /// Arm recovery guard timers (RAS/ARQ retry with bounded backoff,
+    /// setup supervision) and rebuild MS entries from VLR answers after
+    /// a restart. Off by default: the guards add timer events, so
+    /// fault-free runs keep their historical event streams.
+    pub resilience: bool,
+}
+
+/// RAS registration guard state (resilience mode).
+#[derive(Clone, Copy, Debug)]
+struct RasGuard {
+    /// Guard id carried in the timer tag (maps back to the IMSI).
+    id: u64,
+    /// Retries already sent.
+    attempts: u32,
+    /// The armed guard timer.
+    token: TimerToken,
+    /// When the first RRQ of this ladder went out.
+    first_at: SimTime,
+}
+
+/// Admission (ARQ) guard state (resilience mode).
+#[derive(Clone, Copy, Debug)]
+struct ArqGuard {
+    attempts: u32,
+    token: TimerToken,
+    first_at: SimTime,
 }
 
 /// Registration progress of one MS (paper Section 3).
@@ -127,6 +181,10 @@ struct VmscCall {
     e_leg: Option<(NodeId, Cic)>,
     /// True if this VMSC is the handoff *target* for the call.
     target_role: bool,
+    /// Outstanding admission guard (resilience mode).
+    arq_guard: Option<ArqGuard>,
+    /// Outstanding setup supervision timer (resilience mode).
+    setup_guard: Option<TimerToken>,
 }
 
 /// The per-MS entry of the paper's "MS table" (Section 2): MM context +
@@ -151,6 +209,8 @@ pub struct MsEntry {
     call: Option<CallId>,
     /// When registration started (for the latency histograms).
     reg_started: SimTime,
+    /// Outstanding RAS registration guard (resilience mode).
+    ras_guard: Option<RasGuard>,
 }
 
 /// A handoff prepared with this VMSC as target.
@@ -189,6 +249,12 @@ pub struct Vmsc {
     next_crv: u16,
     next_ho_ref: u32,
     next_cic: u16,
+    /// Guard-id → IMSI lookup for RAS guard timer tags.
+    ras_guard_imsi: HashMap<u64, Imsi>,
+    next_guard: u64,
+    /// Fault injection: while true (crashed or blackholed) the node
+    /// silently drops every protocol message and timer.
+    down: bool,
 }
 
 impl Vmsc {
@@ -213,6 +279,9 @@ impl Vmsc {
             next_crv: 0,
             next_ho_ref: 0,
             next_cic: 0,
+            ras_guard_imsi: HashMap::new(),
+            next_guard: 0,
+            down: false,
         }
     }
 
@@ -293,6 +362,189 @@ impl Vmsc {
         self.send_ip_for(ctx, imsi, 1719, gk, IpPayload::Ras(ras));
     }
 
+    /// (Re-)sends the registration RRQ for an MS from its current alias
+    /// and signaling address.
+    fn send_rrq(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi) {
+        let alias = self.ms_table.get(&imsi).and_then(|e| e.msisdn);
+        let transport = self.signal_addr_for(&imsi);
+        if let (Some(alias), Some(transport)) = (alias, transport) {
+            self.send_ras(ctx, imsi, RasMessage::Rrq { alias, transport, imsi: None });
+        }
+    }
+
+    /// Arms (or re-arms from scratch) the RAS registration guard for an
+    /// MS whose RRQ just went out. Resilience mode only.
+    fn arm_ras_guard(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi) {
+        if !self.config.resilience {
+            return;
+        }
+        if let Some(old) = self.ms_table.get(&imsi).and_then(|e| e.ras_guard) {
+            ctx.cancel_timer(old.token);
+            self.ras_guard_imsi.remove(&old.id);
+        }
+        let delay = RAS_BACKOFF.delay(0).expect("RAS schedule allows a first wait");
+        self.next_guard += 1;
+        let id = self.next_guard;
+        let token = ctx.set_timer(delay, (NS_RAS << TAG_SHIFT) | id);
+        match self.ms_table.get_mut(&imsi) {
+            Some(entry) => {
+                entry.ras_guard = Some(RasGuard { id, attempts: 0, token, first_at: ctx.now() });
+                self.ras_guard_imsi.insert(id, imsi);
+            }
+            None => ctx.cancel_timer(token),
+        }
+    }
+
+    /// Drops an MS's RAS guard, if any, returning it for KPI accounting.
+    fn clear_ras_guard(&mut self, ctx: &mut Context<'_, Message>, imsi: &Imsi) -> Option<RasGuard> {
+        let guard = self.ms_table.get_mut(imsi).and_then(|e| e.ras_guard.take())?;
+        ctx.cancel_timer(guard.token);
+        self.ras_guard_imsi.remove(&guard.id);
+        Some(guard)
+    }
+
+    /// Arms the admission guard for a call whose ARQ just went out.
+    /// Resilience mode only.
+    fn arm_arq_guard(&mut self, ctx: &mut Context<'_, Message>, call: CallId) {
+        if !self.config.resilience {
+            return;
+        }
+        let delay = ARQ_BACKOFF.delay(0).expect("ARQ schedule allows a first wait");
+        let token = ctx.set_timer(delay, (NS_ARQ << TAG_SHIFT) | call.0);
+        match self.calls.get_mut(&call) {
+            Some(state) => {
+                if let Some(old) = state.arq_guard.take() {
+                    ctx.cancel_timer(old.token);
+                }
+                state.arq_guard = Some(ArqGuard { attempts: 0, token, first_at: ctx.now() });
+            }
+            None => ctx.cancel_timer(token),
+        }
+    }
+
+    /// RAS guard expiry: retry the RRQ with exponential backoff, or give
+    /// up with a temporary-failure reject once the ladder is exhausted.
+    fn ras_guard_expired(&mut self, ctx: &mut Context<'_, Message>, id: u64) {
+        let Some(imsi) = self.ras_guard_imsi.remove(&id) else {
+            return;
+        };
+        let guard = {
+            let Some(entry) = self.ms_table.get_mut(&imsi) else {
+                return;
+            };
+            match entry.ras_guard {
+                Some(g) if g.id == id => {
+                    entry.ras_guard = None;
+                    if entry.phase != RegPhase::RasRegistering {
+                        return; // registration moved on; nothing to guard
+                    }
+                    g
+                }
+                _ => return, // superseded by a newer ladder
+            }
+        };
+        let attempts = guard.attempts + 1;
+        match RAS_BACKOFF.delay(attempts) {
+            Some(delay) => {
+                ctx.count("vmsc.ras_retries");
+                self.next_guard += 1;
+                let nid = self.next_guard;
+                let token = ctx.set_timer(delay, (NS_RAS << TAG_SHIFT) | nid);
+                if let Some(entry) = self.ms_table.get_mut(&imsi) {
+                    entry.ras_guard =
+                        Some(RasGuard { id: nid, attempts, token, first_at: guard.first_at });
+                }
+                self.ras_guard_imsi.insert(nid, imsi);
+                self.send_rrq(ctx, imsi);
+            }
+            None => {
+                ctx.count("vmsc.ras_recovery_failed");
+                self.fail_registration(ctx, imsi, Cause::TemporaryFailure);
+            }
+        }
+    }
+
+    /// ARQ guard expiry: retry the admission request with exponential
+    /// backoff, or release the call with a temporary-failure cause.
+    fn arq_guard_expired(&mut self, ctx: &mut Context<'_, Message>, call: CallId) {
+        let (imsi, phase, guard, called) = {
+            let Some(state) = self.calls.get_mut(&call) else {
+                return;
+            };
+            let Some(guard) = state.arq_guard.take() else {
+                return;
+            };
+            (state.imsi, state.phase, guard, state.called)
+        };
+        let answering = match phase {
+            CallPhase::MoAdmission => false,
+            CallPhase::MtAdmission => true,
+            _ => return, // admission already answered; stale guard
+        };
+        let attempts = guard.attempts + 1;
+        match ARQ_BACKOFF.delay(attempts) {
+            Some(delay) => {
+                ctx.count("vmsc.arq_retries");
+                let token = ctx.set_timer(delay, (NS_ARQ << TAG_SHIFT) | call.0);
+                if let Some(state) = self.calls.get_mut(&call) {
+                    state.arq_guard =
+                        Some(ArqGuard { attempts, token, first_at: guard.first_at });
+                }
+                let target = if answering {
+                    self.ms_table.get(&imsi).and_then(|e| e.msisdn)
+                } else {
+                    called
+                };
+                if let Some(target) = target {
+                    self.send_ras(
+                        ctx,
+                        imsi,
+                        RasMessage::Arq { call, called: target, answering, bandwidth: 160 },
+                    );
+                }
+            }
+            None => {
+                ctx.count("vmsc.arq_recovery_failed");
+                let cause = Cause::TemporaryFailure;
+                let has_remote = self
+                    .calls
+                    .get(&call)
+                    .map(|s| s.remote_signal.is_some())
+                    .unwrap_or(false);
+                if has_remote {
+                    self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
+                }
+                self.send_a_to_ms(ctx, &imsi, Dtap::Disconnect { call, cause });
+                if let Some(state) = self.calls.remove(&call) {
+                    if let Some(token) = state.setup_guard {
+                        ctx.cancel_timer(token);
+                    }
+                }
+                if let Some(e) = self.ms_table.get_mut(&imsi) {
+                    e.call = None;
+                }
+            }
+        }
+    }
+
+    /// Setup supervision expiry: the MO call never connected; release
+    /// both legs with the recovery-on-timer-expiry cause.
+    fn setup_guard_expired(&mut self, ctx: &mut Context<'_, Message>, call: CallId) {
+        let Some(state) = self.calls.get_mut(&call) else {
+            return;
+        };
+        state.setup_guard = None;
+        if state.phase != CallPhase::MoProgress {
+            return;
+        }
+        let imsi = state.imsi;
+        ctx.count("vmsc.setup_supervision_expired");
+        let cause = Cause::RecoveryOnTimerExpiry;
+        self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
+        self.send_a_to_ms(ctx, &imsi, Dtap::Disconnect { call, cause });
+        self.finish_call(ctx, call);
+    }
+
     fn send_q931(&self, ctx: &mut Context<'_, Message>, call: CallId, kind: Q931Kind) {
         let Some(call_state) = self.calls.get(&call) else {
             return;
@@ -332,6 +584,12 @@ impl Vmsc {
         let Some(state) = self.calls.remove(&call) else {
             return;
         };
+        if let Some(guard) = state.arq_guard {
+            ctx.cancel_timer(guard.token);
+        }
+        if let Some(token) = state.setup_guard {
+            ctx.cancel_timer(token);
+        }
         let imsi = state.imsi;
         if let Some(entry) = self.ms_table.get_mut(&imsi) {
             entry.call = None;
@@ -375,6 +633,7 @@ impl Vmsc {
         if !self.ms_table.contains_key(&imsi) {
             return;
         }
+        self.clear_ras_guard(ctx, &imsi);
         ctx.count("vmsc.purged");
         // Unregister the stale alias while the signaling context still
         // exists to carry the URQ.
@@ -475,6 +734,7 @@ impl Vmsc {
                         conn: None,
                         call: None,
                         reg_started: ctx.now(),
+                        ras_guard: None,
                     });
                     entry.conn = Some(conn);
                     entry.reg_started = ctx.now();
@@ -570,6 +830,8 @@ impl Vmsc {
                         rtp_seq: 0,
                         e_leg: None,
                         target_role: false,
+                        arq_guard: None,
+                        setup_guard: None,
                     },
                 );
                 if let Some(entry) = self.ms_table.get_mut(&imsi) {
@@ -643,6 +905,7 @@ impl Vmsc {
                                 bandwidth: 160,
                             },
                         );
+                        self.arm_arq_guard(ctx, call);
                     }
                     CallPhase::MtAccess => {
                         // Step 4.5 end: deliver the setup.
@@ -734,6 +997,8 @@ impl Vmsc {
                         rtp_seq: 0,
                         e_leg: Some((pending.anchor, pending.cic)),
                         target_role: true,
+                        arq_guard: None,
+                        setup_guard: None,
                     },
                 );
                 self.by_conn_call.insert(conn, call);
@@ -779,6 +1044,9 @@ impl Vmsc {
         let Some(state) = self.calls.get_mut(&call) else {
             return;
         };
+        if let Some(token) = state.setup_guard.take() {
+            ctx.cancel_timer(token);
+        }
         state.phase = CallPhase::Active;
         state.connected_at = Some(ctx.now());
         state.voice_pdp_requested_at = Some(ctx.now());
@@ -820,6 +1088,29 @@ impl Vmsc {
                 // Step 1.2 complete. Do NOT accept toward the MS yet: the
                 // paper continues with GPRS attach + PDP + RAS first.
                 let has_context = {
+                    if self.config.resilience && !self.ms_table.contains_key(&imsi) {
+                        // Recovery after a VMSC restart: the MS table was
+                        // lost, but the VLR still resolves the TMSI —
+                        // rebuild the entry from its answer so the
+                        // cold-start re-registration can proceed.
+                        ctx.count("vmsc.entries_rebuilt");
+                        self.ms_table.insert(
+                            imsi,
+                            MsEntry {
+                                imsi,
+                                msisdn: None,
+                                tmsi: None,
+                                phase: RegPhase::GsmUpdating,
+                                signaling_addr: None,
+                                voice_addr: None,
+                                conn: Some(conn),
+                                call: None,
+                                reg_started: ctx.now(),
+                                ras_guard: None,
+                            },
+                        );
+                        self.by_conn.insert(conn, imsi);
+                    }
                     let Some(entry) = self.ms_table.get_mut(&imsi) else {
                         return;
                     };
@@ -851,6 +1142,7 @@ impl Vmsc {
                                 imsi: None,
                             },
                         );
+                        self.arm_ras_guard(ctx, imsi);
                     }
                 } else {
                     // Step 1.3: GPRS attach, just like a GPRS MS would.
@@ -1048,6 +1340,7 @@ impl Vmsc {
                                     bandwidth: 160,
                                 },
                             );
+                            self.arm_arq_guard(ctx, call);
                         }
                         return;
                     }
@@ -1068,6 +1361,7 @@ impl Vmsc {
                                 imsi: None,
                             },
                         );
+                        self.arm_ras_guard(ctx, imsi);
                     } else {
                         ctx.count("vmsc.no_alias_for_rrq");
                     }
@@ -1104,6 +1398,7 @@ impl Vmsc {
     }
 
     fn fail_registration(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi, cause: Cause) {
+        self.clear_ras_guard(ctx, &imsi);
         if let Some(entry) = self.ms_table.get_mut(&imsi) {
             let conn = entry.conn;
             entry.phase = RegPhase::GsmUpdating;
@@ -1145,6 +1440,16 @@ impl Vmsc {
                     }
                 };
                 if let Some((tmsi, conn, reg_started)) = ready {
+                    if let Some(guard) = self.clear_ras_guard(ctx, &imsi) {
+                        if guard.attempts > 0 {
+                            // The ladder had to retry: record how long the
+                            // outage held registration up.
+                            ctx.observe_duration(
+                                "vmsc.ras_recovery_ms",
+                                ctx.now().duration_since(guard.first_at),
+                            );
+                        }
+                    }
                     ctx.note("Step 1.6: registration complete; accept -> MS");
                     ctx.count("vmsc.registrations_completed");
                     ctx.observe_duration(
@@ -1166,9 +1471,18 @@ impl Vmsc {
                 dest_call_signal_addr,
             } => {
                 let (phase, called) = {
-                    let Some(state) = self.calls.get(&call) else {
+                    let Some(state) = self.calls.get_mut(&call) else {
                         return;
                     };
+                    if let Some(guard) = state.arq_guard.take() {
+                        ctx.cancel_timer(guard.token);
+                        if guard.attempts > 0 {
+                            ctx.observe_duration(
+                                "vmsc.arq_recovery_ms",
+                                ctx.now().duration_since(guard.first_at),
+                            );
+                        }
+                    }
                     (state.phase, state.called)
                 };
                 match phase {
@@ -1194,6 +1508,14 @@ impl Vmsc {
                                     media_addr,
                                 },
                             );
+                            if self.config.resilience {
+                                let token = ctx
+                                    .set_timer(SETUP_SUPERVISION, (NS_SETUP << TAG_SHIFT) | call.0);
+                                match self.calls.get_mut(&call) {
+                                    Some(state) => state.setup_guard = Some(token),
+                                    None => ctx.cancel_timer(token),
+                                }
+                            }
                         }
                     }
                     CallPhase::MtAdmission => {
@@ -1203,7 +1525,7 @@ impl Vmsc {
                             state.phase = CallPhase::MtPaging;
                             state.paged_at = Some(ctx.now());
                         }
-                        ctx.set_timer(PAGING_TIMEOUT, TAG_PAGING | call.0);
+                        ctx.set_timer(PAGING_TIMEOUT, (NS_PAGING << TAG_SHIFT) | call.0);
                         ctx.note("Step 4.4: page the MS");
                         ctx.count("vmsc.pages_sent");
                         // Page by TMSI when one is allocated: the IMSI
@@ -1230,6 +1552,14 @@ impl Vmsc {
             }
             RasMessage::Arj { call, cause } => {
                 ctx.count("vmsc.admission_rejected");
+                if let Some(state) = self.calls.get_mut(&call) {
+                    if let Some(guard) = state.arq_guard.take() {
+                        ctx.cancel_timer(guard.token);
+                    }
+                    if let Some(token) = state.setup_guard.take() {
+                        ctx.cancel_timer(token);
+                    }
+                }
                 if let Some(state) = self.calls.get(&call) {
                     if state.remote_signal.is_some() {
                         self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
@@ -1296,6 +1626,8 @@ impl Vmsc {
                         rtp_seq: 0,
                         e_leg: None,
                         target_role: false,
+                        arq_guard: None,
+                        setup_guard: None,
                     },
                 );
                 ctx.count("vmsc.mt_calls");
@@ -1314,6 +1646,7 @@ impl Vmsc {
                             bandwidth: 160,
                         },
                     );
+                    self.arm_arq_guard(ctx, msg.call);
                 }
             }
             Q931Kind::CallProceeding => ctx.count("vmsc.call_proceeding"),
@@ -1499,26 +1832,35 @@ impl Node<Message> for Vmsc {
         _token: vgprs_sim::TimerToken,
         tag: u64,
     ) {
-        // Paging supervision: tags are namespaced; low bits = call id.
-        if tag & TAG_PAGING == 0 {
+        // A crashed node's pending timers must not act; guard lookups
+        // below additionally ignore anything the crash wiped out.
+        if self.down {
             return;
         }
-        let call = CallId(tag & !TAG_PAGING);
-        let still_paging = self
-            .calls
-            .get(&call)
-            .map(|c| c.phase == CallPhase::MtPaging)
-            .unwrap_or(false);
-        if still_paging {
-            ctx.count("vmsc.paging_timeouts");
-            self.send_q931(
-                ctx,
-                call,
-                Q931Kind::ReleaseComplete {
-                    cause: Cause::SubscriberAbsent,
-                },
-            );
-            self.finish_call(ctx, call);
+        match tag >> TAG_SHIFT {
+            NS_PAGING => {
+                let call = CallId(tag & TAG_MASK);
+                let still_paging = self
+                    .calls
+                    .get(&call)
+                    .map(|c| c.phase == CallPhase::MtPaging)
+                    .unwrap_or(false);
+                if still_paging {
+                    ctx.count("vmsc.paging_timeouts");
+                    self.send_q931(
+                        ctx,
+                        call,
+                        Q931Kind::ReleaseComplete {
+                            cause: Cause::SubscriberAbsent,
+                        },
+                    );
+                    self.finish_call(ctx, call);
+                }
+            }
+            NS_RAS => self.ras_guard_expired(ctx, tag & TAG_MASK),
+            NS_ARQ => self.arq_guard_expired(ctx, CallId(tag & TAG_MASK)),
+            NS_SETUP => self.setup_guard_expired(ctx, CallId(tag & TAG_MASK)),
+            _ => {}
         }
     }
 
@@ -1530,6 +1872,59 @@ impl Node<Message> for Vmsc {
         msg: Message,
     ) {
         match (iface, msg) {
+            (Interface::Internal, Message::Cmd(Command::Crash)) => {
+                // Total state loss: MS table, calls, handoffs. The VLR/HLR
+                // keep their copies, which is what cold-start recovery
+                // rebuilds from (resilience mode).
+                self.ms_table.clear();
+                self.by_conn.clear();
+                self.by_addr.clear();
+                self.by_alias.clear();
+                self.by_tmsi.clear();
+                self.conn_of_bsc.clear();
+                self.calls.clear();
+                self.by_conn_call.clear();
+                self.target_handoffs.clear();
+                self.awaiting_context.clear();
+                self.ras_guard_imsi.clear();
+                self.down = true;
+                ctx.count("vmsc.crashes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Blackhole)) => {
+                self.down = true;
+                ctx.count("vmsc.blackholes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Restore)) => {
+                self.down = false;
+            }
+            (Interface::Internal, Message::Cmd(Command::Resync)) => {
+                // A backbone peer (SGSN/GGSN/gatekeeper) restarted and
+                // lost our contexts: walk the MS table in deterministic
+                // order and re-run attach → PDP activation → RRQ for
+                // every subscriber. Stale PDP addresses are dropped —
+                // the restarted peer no longer knows them.
+                ctx.count("vmsc.resyncs");
+                let mut imsis: Vec<Imsi> = self.ms_table.keys().copied().collect();
+                imsis.sort();
+                for imsi in imsis {
+                    self.clear_ras_guard(ctx, &imsi);
+                    let stale = {
+                        let Some(entry) = self.ms_table.get_mut(&imsi) else {
+                            continue;
+                        };
+                        let stale = [entry.signaling_addr.take(), entry.voice_addr.take()];
+                        entry.phase = RegPhase::Attaching;
+                        entry.reg_started = ctx.now();
+                        stale
+                    };
+                    for addr in stale.into_iter().flatten() {
+                        self.by_addr.remove(&addr);
+                    }
+                    ctx.count("vmsc.resync_reattach");
+                    ctx.send(self.sgsn, Message::Gmm(GmmMessage::AttachRequest { imsi }));
+                }
+            }
+            _ if self.down => ctx.count("vmsc.dropped_while_down"),
             (Interface::A, Message::A { conn, dtap }) => self.handle_a(ctx, from, conn, dtap),
             (Interface::B | Interface::C | Interface::E, Message::Map(m)) => {
                 self.handle_map(ctx, from, m)

@@ -1,0 +1,393 @@
+//! # vgprs-faults — deterministic fault plans for the vGPRS testbed
+//!
+//! The load engine exercises a *perfect* network: links never degrade,
+//! nodes never restart, signaling peers always answer. This crate adds the
+//! missing failure axis without giving up the repo's core invariant —
+//! **bit-identical runs across thread counts and event kernels**.
+//!
+//! The trick is that faults are not injected by a stochastic process racing
+//! the simulation; they are *compiled ahead of time* into a [`FaultPlan`]:
+//! a sorted list of `(start, duration, kind)` impairment windows derived
+//! purely from `(config, master_seed, shard_index)` by [`compile_plan`].
+//! The load driver walks the plan exactly like it walks subscriber call
+//! schedules — every injection is an ordinary driver action at a fixed
+//! simulated time, so the event kernel sees the same totally-ordered event
+//! stream regardless of `--threads` or `Kernel::{Heap,Wheel}`.
+//!
+//! Three fault classes cover the failure modes the paper's deployment
+//! would meet in the field:
+//!
+//! * [`FaultClass::LinkDegrade`] — loss, added latency and a bandwidth
+//!   clamp on the Gb (VMSC↔SGSN) or Gn (SGSN↔GGSN) link,
+//! * [`FaultClass::NodeCrash`] — crash-and-restart with state loss for
+//!   SGSN, GGSN, gatekeeper or VMSC, forcing cold-start re-registration,
+//! * [`FaultClass::Blackhole`] — the node stays up but silently drops all
+//!   signaling (RAS/ISUP requests time out instead of being rejected).
+//!
+//! Intensity `0.0` compiles to an **empty plan**, which the driver treats
+//! as "faults disabled" — the run is then byte-for-byte identical to one
+//! that never linked this crate's output at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vgprs_sim::{SimDuration, SimRng};
+
+/// Sub-stream salt for fault-plan derivation, disjoint from the load
+/// engine's shard/call/mobility streams.
+pub const STREAM_FAULTS: u64 = 0x0FA1_75EE_D0DD_BA11_u64;
+
+/// The three injectable failure classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FaultClass {
+    /// Loss / latency / bandwidth impairment on a backbone link.
+    LinkDegrade,
+    /// Node crash with state loss, followed by a restart.
+    NodeCrash,
+    /// Node silently drops all traffic while keeping its state.
+    Blackhole,
+}
+
+impl FaultClass {
+    /// All classes, in a fixed order used for plan compilation and KPIs.
+    pub const ALL: [FaultClass; 3] =
+        [FaultClass::LinkDegrade, FaultClass::NodeCrash, FaultClass::Blackhole];
+
+    /// Stable lowercase identifier used in stats keys and JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultClass::LinkDegrade => "link_degrade",
+            FaultClass::NodeCrash => "node_crash",
+            FaultClass::Blackhole => "blackhole",
+        }
+    }
+}
+
+/// Which backbone link a [`FaultKind::DegradeLink`] impairs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkSel {
+    /// VMSC ↔ SGSN (all LLC-tunneled signaling and voice).
+    Gb,
+    /// SGSN ↔ GGSN (GTP tunnel toward the IP backbone).
+    Gn,
+}
+
+/// Which network element a crash or blackhole targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeSel {
+    /// Serving GPRS support node: loses MM and PDP contexts.
+    Sgsn,
+    /// Gateway GPRS support node: loses dynamic PDP records.
+    Ggsn,
+    /// H.323 gatekeeper: loses registrations and admissions.
+    Gatekeeper,
+    /// The paper's VMSC: loses every MS entry and active call.
+    Vmsc,
+}
+
+impl NodeSel {
+    const ALL: [NodeSel; 4] = [NodeSel::Sgsn, NodeSel::Ggsn, NodeSel::Gatekeeper, NodeSel::Vmsc];
+}
+
+/// A concrete impairment, parameterized by its class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Degrade a backbone link for the window's duration.
+    DegradeLink {
+        /// Link to impair.
+        link: LinkSel,
+        /// Extra one-way latency while degraded.
+        added_latency: SimDuration,
+        /// Loss probability applied to unreliable frames.
+        loss: f64,
+        /// Clamped bandwidth in bits/s (0 = leave unchanged).
+        bandwidth_bps: u64,
+    },
+    /// Crash the node (state loss); it restarts when the window ends.
+    Crash {
+        /// Node to crash.
+        node: NodeSel,
+    },
+    /// Blackhole the node (drops everything, keeps state) until the
+    /// window ends.
+    Blackhole {
+        /// Node to silence.
+        node: NodeSel,
+    },
+}
+
+impl FaultKind {
+    /// The class this kind belongs to.
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultKind::DegradeLink { .. } => FaultClass::LinkDegrade,
+            FaultKind::Crash { .. } => FaultClass::NodeCrash,
+            FaultKind::Blackhole { .. } => FaultClass::Blackhole,
+        }
+    }
+}
+
+/// One scheduled impairment window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Window start, in ms of simulated time after the warm-up origin.
+    pub at_ms: u64,
+    /// Window length in ms; the driver restores/restarts at `at_ms +
+    /// duration_ms`.
+    pub duration_ms: u64,
+    /// What the window does.
+    pub kind: FaultKind,
+}
+
+/// Knobs for [`compile_plan`]. `Default` is all-off (zero intensity).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Scales both the number of windows and their severity. `0.0`
+    /// compiles to an empty plan; `1.0` is the nominal chaos level.
+    pub intensity: f64,
+    /// Enable [`FaultClass::LinkDegrade`] windows.
+    pub link_degrade: bool,
+    /// Enable [`FaultClass::NodeCrash`] windows.
+    pub node_crash: bool,
+    /// Enable [`FaultClass::Blackhole`] windows.
+    pub blackhole: bool,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig { intensity: 0.0, link_degrade: false, node_crash: false, blackhole: false }
+    }
+}
+
+impl FaultPlanConfig {
+    /// Convenience: all three classes enabled at the given intensity.
+    pub fn all(intensity: f64) -> Self {
+        FaultPlanConfig { intensity, link_degrade: true, node_crash: true, blackhole: true }
+    }
+
+    /// Convenience: a single class enabled at the given intensity.
+    pub fn only(class: FaultClass, intensity: f64) -> Self {
+        let mut cfg = FaultPlanConfig { intensity, ..FaultPlanConfig::default() };
+        match class {
+            FaultClass::LinkDegrade => cfg.link_degrade = true,
+            FaultClass::NodeCrash => cfg.node_crash = true,
+            FaultClass::Blackhole => cfg.blackhole = true,
+        }
+        cfg
+    }
+
+    /// True if no window can ever be compiled from this config.
+    pub fn is_off(&self) -> bool {
+        self.intensity <= 0.0 || !(self.link_degrade || self.node_crash || self.blackhole)
+    }
+}
+
+/// A compiled, per-shard fault schedule. Windows are sorted by
+/// `(at_ms, duration_ms)` with class order breaking exact ties.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled impairment windows.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// True if the plan schedules nothing (faults disabled).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total scheduled impairment time for a class, in ms. Overlapping
+    /// windows are summed, not unioned: the KPI measures injected fault
+    /// exposure, not wall-clock outage.
+    pub fn unavailability_ms(&self, class: FaultClass) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind.class() == class)
+            .map(|e| e.duration_ms)
+            .sum()
+    }
+
+    /// True if `[from_ms, to_ms]` overlaps any window of `class`.
+    pub fn overlaps(&self, class: FaultClass, from_ms: u64, to_ms: u64) -> bool {
+        self.events.iter().any(|e| {
+            e.kind.class() == class && e.at_ms <= to_ms && from_ms <= e.at_ms + e.duration_ms
+        })
+    }
+}
+
+/// Number of windows a class gets at the given intensity over `window_secs`
+/// of busy hour: roughly one per 30 simulated seconds at intensity 1.
+fn windows_per_class(intensity: f64, window_secs: u64) -> u64 {
+    ((intensity * window_secs as f64 / 30.0).round() as u64).max(if intensity > 0.0 { 1 } else { 0 })
+}
+
+/// Compiles the per-shard fault schedule.
+///
+/// Pure function of its arguments: the same `(cfg, master_seed,
+/// shard_index, window_secs)` always yields the same plan, and plans for
+/// different shards are derived from independent RNG sub-streams, so
+/// re-partitioning the population does not reshuffle any shard's faults.
+pub fn compile_plan(
+    cfg: &FaultPlanConfig,
+    master_seed: u64,
+    shard_index: usize,
+    window_secs: u64,
+) -> FaultPlan {
+    let mut plan = FaultPlan::default();
+    if cfg.is_off() || window_secs == 0 {
+        return plan;
+    }
+    let intensity = cfg.intensity.clamp(0.0, 4.0);
+    let mut rng = SimRng::derive(master_seed, STREAM_FAULTS ^ shard_index as u64);
+    let window_ms = window_secs * 1_000;
+    // Windows start after warm-up (5%) and leave a tail (20%) so every
+    // restart's recovery traffic lands inside the measured run.
+    let lo_ms = window_ms / 20;
+    let hi_ms = window_ms * 8 / 10;
+    let count = windows_per_class(intensity, window_secs);
+
+    for class in FaultClass::ALL {
+        let enabled = match class {
+            FaultClass::LinkDegrade => cfg.link_degrade,
+            FaultClass::NodeCrash => cfg.node_crash,
+            FaultClass::Blackhole => cfg.blackhole,
+        };
+        // Draw the class's randomness unconditionally so enabling one
+        // class never perturbs another class's schedule.
+        for _ in 0..count {
+            let at_ms = rng.range(lo_ms, hi_ms.max(lo_ms + 1));
+            let duration_ms = 2_000 + (rng.uniform() * intensity * 8_000.0) as u64;
+            let kind = match class {
+                FaultClass::LinkDegrade => {
+                    let link = if rng.chance(0.5) { LinkSel::Gb } else { LinkSel::Gn };
+                    FaultKind::DegradeLink {
+                        link,
+                        added_latency: SimDuration::from_micros(
+                            (rng.uniform() * intensity * 200_000.0) as u64,
+                        ),
+                        loss: (0.05 + 0.25 * intensity * rng.uniform()).min(0.9),
+                        bandwidth_bps: 2_000_000,
+                    }
+                }
+                FaultClass::NodeCrash => {
+                    let node = NodeSel::ALL[rng.range(0, NodeSel::ALL.len() as u64) as usize];
+                    FaultKind::Crash { node }
+                }
+                FaultClass::Blackhole => {
+                    // Blackholes target the signaling path peers: the
+                    // gatekeeper (RAS timeouts) or the SGSN (everything
+                    // the VMSC tunnels over Gb times out).
+                    let node = if rng.chance(0.5) { NodeSel::Gatekeeper } else { NodeSel::Sgsn };
+                    FaultKind::Blackhole { node }
+                }
+            };
+            if enabled {
+                plan.events.push(FaultEvent { at_ms, duration_ms, kind });
+            }
+        }
+    }
+
+    // Deterministic order for the driver's schedule: class order (the
+    // push order above) breaks (at_ms, duration_ms) ties via sort
+    // stability.
+    plan.events.sort_by_key(|e| (e.at_ms, e.duration_ms));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_intensity_compiles_to_empty_plan() {
+        let plan = compile_plan(&FaultPlanConfig::all(0.0), 42, 0, 300);
+        assert!(plan.is_empty());
+        let off = compile_plan(&FaultPlanConfig::default(), 42, 3, 300);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cfg = FaultPlanConfig::all(1.0);
+        let a = compile_plan(&cfg, 0xD15EA5E, 2, 300);
+        let b = compile_plan(&cfg, 0xD15EA5E, 2, 300);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn shards_and_seeds_get_independent_plans() {
+        let cfg = FaultPlanConfig::all(1.0);
+        let a = compile_plan(&cfg, 42, 0, 300);
+        let b = compile_plan(&cfg, 42, 1, 300);
+        let c = compile_plan(&cfg, 43, 0, 300);
+        assert_ne!(a, b, "shard index must vary the plan");
+        assert_ne!(a, c, "seed must vary the plan");
+    }
+
+    #[test]
+    fn window_count_is_monotone_in_intensity() {
+        let counts: Vec<usize> = [0.0, 0.3, 1.0, 2.0]
+            .iter()
+            .map(|&i| compile_plan(&FaultPlanConfig::all(i), 7, 0, 600).events.len())
+            .collect();
+        for pair in counts.windows(2) {
+            assert!(pair[0] <= pair[1], "window count shrank: {counts:?}");
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[3] > counts[1]);
+    }
+
+    #[test]
+    fn windows_are_sorted_bounded_and_inside_the_run() {
+        let plan = compile_plan(&FaultPlanConfig::all(2.0), 99, 1, 300);
+        let mut prev = 0;
+        for e in &plan.events {
+            assert!(e.at_ms >= prev, "plan must be sorted");
+            prev = e.at_ms;
+            assert!(e.at_ms >= 300_000 / 20, "window starts before warm-up");
+            assert!(e.at_ms < 300_000 * 8 / 10, "window starts in the tail");
+            assert!(e.duration_ms >= 2_000 && e.duration_ms <= 2_000 + 2 * 8_000);
+            if let FaultKind::DegradeLink { loss, .. } = e.kind {
+                assert!((0.0..=0.9).contains(&loss));
+            }
+        }
+    }
+
+    #[test]
+    fn single_class_plans_are_a_subset_of_the_combined_plan() {
+        // Enabling one class must not perturb another's schedule.
+        let all = compile_plan(&FaultPlanConfig::all(1.0), 11, 0, 300);
+        for class in FaultClass::ALL {
+            let only = compile_plan(&FaultPlanConfig::only(class, 1.0), 11, 0, 300);
+            assert!(!only.is_empty());
+            for e in &only.events {
+                assert!(e.kind.class() == class);
+                assert!(all.events.contains(e), "{e:?} missing from combined plan");
+            }
+        }
+    }
+
+    #[test]
+    fn unavailability_and_overlap_accounting() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_ms: 1_000,
+                    duration_ms: 2_000,
+                    kind: FaultKind::Crash { node: NodeSel::Sgsn },
+                },
+                FaultEvent {
+                    at_ms: 10_000,
+                    duration_ms: 3_000,
+                    kind: FaultKind::Crash { node: NodeSel::Vmsc },
+                },
+            ],
+        };
+        assert_eq!(plan.unavailability_ms(FaultClass::NodeCrash), 5_000);
+        assert_eq!(plan.unavailability_ms(FaultClass::Blackhole), 0);
+        assert!(plan.overlaps(FaultClass::NodeCrash, 2_500, 4_000));
+        assert!(!plan.overlaps(FaultClass::NodeCrash, 4_000, 9_000));
+        assert!(!plan.overlaps(FaultClass::LinkDegrade, 0, 20_000));
+    }
+}

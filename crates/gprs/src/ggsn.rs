@@ -12,7 +12,7 @@ use std::collections::{HashMap, VecDeque};
 
 use vgprs_sim::{Context, Interface, Node, NodeId};
 use vgprs_wire::{
-    Cause, GtpMessage, Imsi, IpPacket, Ipv4Addr, Message, Nsapi, QosProfile, Teid,
+    Cause, Command, GtpMessage, Imsi, IpPacket, Ipv4Addr, Message, Nsapi, QosProfile, Teid,
 };
 
 /// One PDP context record (paper step 1.3: "IMSI, IP address, QoS profile
@@ -58,6 +58,9 @@ pub struct Ggsn {
     static_of_imsi: HashMap<Imsi, Ipv4Addr>,
     next_dynamic: u32,
     next_teid: u32,
+    /// Fault injection: while true (crashed or blackholed) the node
+    /// silently drops every protocol message.
+    down: bool,
 }
 
 impl Ggsn {
@@ -79,6 +82,7 @@ impl Ggsn {
             static_of_imsi: HashMap::new(),
             next_dynamic: 0,
             next_teid: 0,
+            down: false,
         }
     }
 
@@ -284,6 +288,23 @@ impl Node<Message> for Ggsn {
         msg: Message,
     ) {
         match (iface, msg) {
+            (Interface::Internal, Message::Cmd(Command::Crash)) => {
+                // Dynamic PDP records are volatile; static provisioning is
+                // operator configuration and survives the restart.
+                self.pdp.clear();
+                self.by_addr.clear();
+                self.by_sub.clear();
+                self.down = true;
+                ctx.count("ggsn.crashes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Blackhole)) => {
+                self.down = true;
+                ctx.count("ggsn.blackholes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Restore)) => {
+                self.down = false;
+            }
+            _ if self.down => ctx.count("ggsn.dropped_while_down"),
             (Interface::Gn, Message::Gtp(m)) => self.handle_gtp(ctx, from, m),
             (Interface::Gi | Interface::Lan, Message::Ip(p)) => self.route_ip(ctx, p),
             _ => ctx.count("ggsn.unexpected_message"),

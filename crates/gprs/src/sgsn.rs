@@ -9,8 +9,8 @@ use std::collections::HashMap;
 
 use vgprs_sim::{Context, Interface, Node, NodeId};
 use vgprs_wire::{
-    Cause, GmmMessage, GtpMessage, Imsi, IpPacket, Ipv4Addr, MapMessage, Message, Nsapi,
-    PointCode, QosProfile, Teid, Tmsi,
+    Cause, Command, GmmMessage, GtpMessage, Imsi, IpPacket, Ipv4Addr, MapMessage, Message,
+    Nsapi, PointCode, QosProfile, Teid, Tmsi,
 };
 
 /// Mobility-management context of one attached endpoint.
@@ -43,6 +43,9 @@ pub struct Sgsn {
     teid_index: HashMap<Teid, (Imsi, Nsapi)>,
     next_teid: u32,
     next_ptmsi: u32,
+    /// Fault injection: while true (crashed or blackholed) the node
+    /// silently drops every protocol message.
+    down: bool,
 }
 
 impl Sgsn {
@@ -57,6 +60,7 @@ impl Sgsn {
             teid_index: HashMap::new(),
             next_teid: 0,
             next_ptmsi: 0,
+            down: false,
         }
     }
 
@@ -325,6 +329,23 @@ impl Node<Message> for Sgsn {
         msg: Message,
     ) {
         match (iface, msg) {
+            (Interface::Internal, Message::Cmd(Command::Crash)) => {
+                // State loss: every MM and PDP context is gone; attached
+                // subscribers must re-attach and re-activate from scratch.
+                self.mm.clear();
+                self.pdp.clear();
+                self.teid_index.clear();
+                self.down = true;
+                ctx.count("sgsn.crashes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Blackhole)) => {
+                self.down = true;
+                ctx.count("sgsn.blackholes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Restore)) => {
+                self.down = false;
+            }
+            _ if self.down => ctx.count("sgsn.dropped_while_down"),
             (Interface::Gb, Message::Gmm(m)) => self.handle_gmm(ctx, from, m),
             (Interface::Gb, Message::Llc { imsi, nsapi, inner }) => {
                 self.handle_llc_uplink(ctx, imsi, nsapi, *inner)

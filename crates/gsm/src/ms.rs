@@ -271,6 +271,11 @@ impl MobileStation {
                     }
                 }
             }
+            // Fault-injection commands target infrastructure nodes, not
+            // handsets.
+            Command::Crash | Command::Blackhole | Command::Restore | Command::Resync => {
+                ctx.count("ms.unexpected_command");
+            }
         }
     }
 

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use vgprs_sim::{Context, Interface, Node, NodeId, SimTime};
 use vgprs_wire::{
-    CallId, Cause, IpPacket, IpPayload, Message, Msisdn, RasMessage, TransportAddr,
+    CallId, Cause, Command, IpPacket, IpPayload, Message, Msisdn, RasMessage, TransportAddr,
 };
 
 /// One completed call's charging record (paper step 3.3: "the GK records
@@ -52,6 +52,9 @@ pub struct Gatekeeper {
     /// standard vGPRS deployment keeps this empty — experiment C4's
     /// confidentiality measurement.
     imsi_directory: HashMap<Msisdn, vgprs_wire::Imsi>,
+    /// Fault injection: while true (crashed or blackholed) the node
+    /// silently drops every protocol message.
+    down: bool,
 }
 
 impl Gatekeeper {
@@ -65,6 +68,7 @@ impl Gatekeeper {
             bandwidth_used: 0,
             charging: Vec::new(),
             imsi_directory: HashMap::new(),
+            down: false,
         }
     }
 
@@ -201,6 +205,23 @@ impl Node<Message> for Gatekeeper {
         msg: Message,
     ) {
         match (iface, msg) {
+            (Interface::Internal, Message::Cmd(Command::Crash)) => {
+                // Registrations and admissions are volatile; charging
+                // records model persisted billing and survive.
+                self.table.clear();
+                self.admissions.clear();
+                self.bandwidth_used = 0;
+                self.down = true;
+                ctx.count("gk.crashes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Blackhole)) => {
+                self.down = true;
+                ctx.count("gk.blackholes");
+            }
+            (Interface::Internal, Message::Cmd(Command::Restore)) => {
+                self.down = false;
+            }
+            _ if self.down => ctx.count("gk.dropped_while_down"),
             (Interface::Lan | Interface::Gi, Message::Ip(packet)) => {
                 if packet.dst.ip != self.config.addr.ip {
                     ctx.count("gk.misdelivered");

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use vgprs_faults::FaultPlanConfig;
 use vgprs_sim::Kernel;
 
 use crate::mailbox::{Flit, HlrDirectory, Mailbox};
@@ -57,6 +58,10 @@ pub struct LoadConfig {
     /// (`harness kernelbench --check`). Fingerprints are identical on
     /// both, so this is a performance knob, never an experiment knob.
     pub kernel: Kernel,
+    /// Deterministic fault-injection schedule. The all-off default
+    /// compiles to empty plans, and the run is byte-identical to one
+    /// without the fault machinery.
+    pub faults: FaultPlanConfig,
 }
 
 impl Default for LoadConfig {
@@ -72,6 +77,7 @@ impl Default for LoadConfig {
             gk_bandwidth: 100_000_000,
             voice_sample_ms: 1_000,
             kernel: Kernel::default(),
+            faults: FaultPlanConfig::default(),
         }
     }
 }
@@ -157,6 +163,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             gk_bandwidth: cfg.gk_bandwidth,
             voice_sample_ms: cfg.voice_sample_ms,
             kernel: cfg.kernel,
+            faults: cfg.faults,
         })
         .collect();
 

@@ -56,3 +56,6 @@ pub use population::{
 };
 pub use report::LoadReport;
 pub use shard::{run_shard, Shard, ShardConfig, ShardReport};
+// Re-exported so load-engine callers can configure fault plans without
+// naming the faults crate themselves.
+pub use vgprs_faults::{FaultClass, FaultPlanConfig};

@@ -8,6 +8,7 @@
 
 use std::time::Duration;
 
+use vgprs_faults::FaultClass;
 use vgprs_media::{EModel, Vocoder};
 use vgprs_sim::{Histogram, Stats};
 
@@ -129,6 +130,52 @@ impl LoadReport {
     /// a round trip counts once).
     pub fn hlr_relocations(&self) -> u64 {
         self.counter("load.hlr_relocations")
+    }
+
+    /// Impairment windows the fault plan opened across all shards.
+    pub fn faults_injected(&self) -> u64 {
+        self.counter("load.faults_injected")
+    }
+
+    /// Probed calls found dead inside a window of the given fault class.
+    pub fn dropped_by_class(&self, class: FaultClass) -> u64 {
+        self.counter(&format!("load.dropped_{}", class.key()))
+    }
+
+    /// Probed calls found dead outside any fault window (ordinary
+    /// blocking / admission rejects the redial machinery also retries).
+    pub fn dropped_baseline(&self) -> u64 {
+        self.counter("load.dropped_baseline")
+    }
+
+    /// Scheduled impairment seconds for the given fault class.
+    pub fn unavailability_secs(&self, class: FaultClass) -> f64 {
+        self.counter(&format!("load.unavailability_ms_{}", class.key())) as f64 / 1000.0
+    }
+
+    /// Driver redials after a dead call (attempt 1 and up).
+    pub fn redial_attempts(&self) -> u64 {
+        self.counter("load.redial_attempts")
+    }
+
+    /// VMSC guard-timer retries: gatekeeper registration (RRQ) and call
+    /// admission (ARQ) resends.
+    pub fn guard_retries(&self) -> (u64, u64) {
+        (
+            self.counter("vmsc.ras_retries"),
+            self.counter("vmsc.arq_retries"),
+        )
+    }
+
+    /// Time from first failure to verified recovery, merged across all
+    /// three recovery ladders (RAS re-registration, ARQ re-admission,
+    /// caller redial).
+    pub fn recovery_time(&self) -> Histogram {
+        self.merged_histogram(&[
+            "vmsc.ras_recovery_ms",
+            "vmsc.arq_recovery_ms",
+            "load.redial_recovery_ms",
+        ])
     }
 
     fn merged_histogram(&self, names: &[&str]) -> Histogram {
@@ -284,6 +331,37 @@ impl LoadReport {
             "HLR relocations       : {}",
             self.hlr_relocations()
         ));
+        // Resilience block: rendered unconditionally (all zeros on a
+        // fault-free run) so the report shape never depends on config.
+        line(format!(
+            "faults injected       : {} (unavailability: link {:.1} s, crash {:.1} s, blackhole {:.1} s)",
+            self.faults_injected(),
+            self.unavailability_secs(FaultClass::LinkDegrade),
+            self.unavailability_secs(FaultClass::NodeCrash),
+            self.unavailability_secs(FaultClass::Blackhole)
+        ));
+        line(format!(
+            "calls dropped         : {} link-degrade, {} node-crash, {} blackhole (+{} baseline)",
+            self.dropped_by_class(FaultClass::LinkDegrade),
+            self.dropped_by_class(FaultClass::NodeCrash),
+            self.dropped_by_class(FaultClass::Blackhole),
+            self.dropped_baseline()
+        ));
+        let recovery = self.recovery_time();
+        line(format!(
+            "recovery time         : p50 {:.1} ms, p99 {:.1} ms (n={})",
+            recovery.percentile(50.0),
+            recovery.percentile(99.0),
+            recovery.count()
+        ));
+        let (ras_retries, arq_retries) = self.guard_retries();
+        line(format!(
+            "retries               : {} RRQ, {} ARQ, {} redials ({} exhausted)",
+            ras_retries,
+            arq_retries,
+            self.redial_attempts(),
+            self.counter("load.redials_exhausted")
+        ));
         line(format!(
             "events                : {} over {:.1} simulated s",
             self.events, self.sim_secs
@@ -370,9 +448,59 @@ impl LoadReport {
             self.handoff_frame_loss()
         ));
         out.push_str(&format!(
-            "    \"hlr_relocations\": {}\n",
+            "    \"hlr_relocations\": {},\n",
             self.hlr_relocations()
         ));
+        out.push_str("    \"resilience\": {\n");
+        out.push_str(&format!(
+            "      \"faults_injected\": {},\n",
+            self.faults_injected()
+        ));
+        for class in FaultClass::ALL {
+            out.push_str(&format!(
+                "      \"dropped_{}\": {},\n",
+                class.key(),
+                self.dropped_by_class(class)
+            ));
+        }
+        out.push_str(&format!(
+            "      \"dropped_baseline\": {},\n",
+            self.dropped_baseline()
+        ));
+        let (ras_retries, arq_retries) = self.guard_retries();
+        out.push_str(&format!("      \"ras_retries\": {ras_retries},\n"));
+        out.push_str(&format!("      \"arq_retries\": {arq_retries},\n"));
+        out.push_str(&format!(
+            "      \"redial_attempts\": {},\n",
+            self.redial_attempts()
+        ));
+        out.push_str(&format!(
+            "      \"redials_exhausted\": {},\n",
+            self.counter("load.redials_exhausted")
+        ));
+        let recovery = self.recovery_time();
+        out.push_str(&format!(
+            "      \"recovery_ms\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}},\n",
+            recovery.count(),
+            json_f64(recovery.mean()),
+            json_f64(recovery.percentile(50.0)),
+            json_f64(recovery.percentile(99.0))
+        ));
+        out.push_str("      \"unavailability_secs\": {");
+        let mut first = true;
+        for class in FaultClass::ALL {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\": {}",
+                class.key(),
+                json_f64(self.unavailability_secs(class))
+            ));
+        }
+        out.push_str("}\n");
+        out.push_str("    }\n");
         out.push_str("  },\n");
         out.push_str("  \"counters\": {");
         let mut first = true;

@@ -23,9 +23,13 @@
 use std::collections::HashMap;
 
 use vgprs_core::{VgprsZone, VgprsZoneConfig, Vmsc};
-use vgprs_gsm::{Bts, Hlr, MobileStation, Vlr};
+use vgprs_faults::{
+    compile_plan, FaultClass, FaultKind, FaultPlan, FaultPlanConfig, LinkSel, NodeSel,
+};
+use vgprs_gsm::{Bts, Hlr, MobileStation, MsState, Vlr};
 use vgprs_sim::{
-    CalendarWheel, Interface, Kernel, Network, NodeId, SimDuration, SimRng, SimTime, Stats,
+    CalendarWheel, Interface, Kernel, LinkQuality, Network, NodeId, SimDuration, SimRng, SimTime,
+    Stats,
 };
 use vgprs_wire::{
     CallId, CellId, Command, ConnRef, Dtap, Imsi, Ipv4Addr, Lai, MapMessage, Message, Msisdn,
@@ -64,6 +68,27 @@ const HANDOFF_VOICE_MS: u64 = 2_500;
 /// shard's own BSCs allocate.
 const VISITOR_CONN_BASE: u32 = 0x8000_0000;
 
+/// Stream-class salt for redial back-off jitter.
+const STREAM_REDIAL: u64 = 0x52ED_1A1B_ACC0_FFEE;
+
+/// A connected call is probed this long after the connect grace window;
+/// by then voice is up (or the attempt is dead) on every call kind.
+const PROBE_DELAY_MS: u64 = 2_500;
+
+/// Redial back-off base: attempt `n` waits `REDIAL_BASE_MS << n` plus
+/// seeded jitter before trying again.
+const REDIAL_BASE_MS: u64 = 2_000;
+
+/// Upper bound on the redial jitter drawn per (subscriber, attempt).
+const REDIAL_JITTER_MS: u64 = 500;
+
+/// A caller whose call died retries at most this many times.
+const MAX_REDIALS: u32 = 2;
+
+/// How long after a crashed backbone peer comes back the VMSC is told
+/// to rebuild its subscribers' contexts.
+const RESYNC_DELAY_MS: u64 = 100;
+
 /// Everything a shard needs to build and drive its world.
 #[derive(Clone, Debug)]
 pub struct ShardConfig {
@@ -94,6 +119,10 @@ pub struct ShardConfig {
     /// produce identical fingerprints; the heap survives as the
     /// differential oracle for the default timer wheel.
     pub kernel: Kernel,
+    /// Deterministic fault schedule for this run; the all-off default
+    /// compiles to an empty plan and leaves the shard byte-identical to
+    /// a fault-free build of the same configuration.
+    pub faults: FaultPlanConfig,
 }
 
 /// What one shard hands back for merging.
@@ -123,15 +152,40 @@ enum Action {
         peer: NodeId,
         local: usize,
         peer_local: Option<usize>,
+        gen: u32,
     },
     Mute {
         a: NodeId,
         b: NodeId,
+        local: usize,
+        gen: u32,
     },
     Move {
         local: usize,
         cell: CellId,
     },
+    /// Checks whether a dialed call actually survived to the talking
+    /// phase; failures are attributed to the overlapping fault window
+    /// (or the baseline) and trigger a backed-off redial.
+    Probe {
+        local: usize,
+        peer_local: Option<usize>,
+        arrival: Arrival,
+        attempt_no: u32,
+        orig_ms: u64,
+        gen: u32,
+    },
+    /// A backed-off re-attempt of a call the probe found dead.
+    Redial {
+        local: usize,
+        arrival: Arrival,
+        attempt_no: u32,
+        orig_ms: u64,
+    },
+    /// Impairment window `i` of the fault plan opens.
+    FaultStart(usize),
+    /// Impairment window `i` of the fault plan closes; recovery runs.
+    FaultEnd(usize),
 }
 
 struct Subscriber {
@@ -157,6 +211,10 @@ struct Subscriber {
     /// Return fell due while the handed-off call was still up; go home
     /// shortly after the hangup instead.
     pending_return: bool,
+    /// Bumped whenever the driver abandons the subscriber's current
+    /// call (probe failure); stale `Hangup`/`Mute`/`Probe` actions from
+    /// the abandoned call carry the old value and are skipped.
+    gen: u32,
 }
 
 /// An outbound (anchored) handoff leg: our subscriber, their radio.
@@ -195,6 +253,15 @@ pub struct Shard {
     t0_us: u64,
     home_hlr: NodeId,
     home_cell: CellId,
+    home_vmsc: NodeId,
+    home_sgsn: NodeId,
+    home_ggsn: NodeId,
+    home_gk: NodeId,
+    /// Healthy Gb/Gn qualities, restored when a degradation window ends.
+    gb_quality: LinkQuality,
+    gn_quality: LinkQuality,
+    /// The compiled fault schedule this shard replays.
+    plan: FaultPlan,
     trunk_gate: NodeId,
     radio_gate: NodeId,
     subs: Vec<Subscriber>,
@@ -229,6 +296,20 @@ impl Shard {
         net.set_trace_capture(false);
         let mut events: u64 = 0;
 
+        // The fault schedule is compiled up front from (config, seed,
+        // shard): the driver replays it like any subscriber plan, so
+        // fault timing never depends on threads or kernel choice.
+        // Recovery guard timers only arm when the plan can actually
+        // hurt — an empty plan keeps the event stream identical to a
+        // fault-free run.
+        let plan = compile_plan(
+            &cfg.faults,
+            cfg.master_seed,
+            cfg.shard_index,
+            cfg.population.window_secs,
+        );
+        let resilience = !plan.is_empty();
+
         // Home serving area plus a neighbor for mobility. Shards are
         // separate networks, so every shard can reuse the same addressing.
         let mut home = VgprsZone::build(
@@ -238,6 +319,7 @@ impl Shard {
                 tch_capacity: cfg.tch_capacity,
                 pdch_bps: cfg.pdch_bps,
                 gk_bandwidth: cfg.gk_bandwidth,
+                resilience,
                 ..VgprsZoneConfig::taiwan()
             },
         );
@@ -253,6 +335,7 @@ impl Shard {
                 tch_capacity: cfg.tch_capacity,
                 pdch_bps: cfg.pdch_bps,
                 gk_bandwidth: cfg.gk_bandwidth,
+                resilience,
                 ..VgprsZoneConfig::taiwan()
             },
         );
@@ -346,6 +429,7 @@ impl Shard {
                 away: false,
                 handed_off: false,
                 pending_return: false,
+                gen: 0,
             });
         }
 
@@ -358,6 +442,14 @@ impl Shard {
 
         // The busy-hour window starts once registration has settled.
         let t0_us = net.now().as_micros();
+        let gb_quality = net
+            .link_between(home.vmsc, home.sgsn)
+            .expect("Gb link")
+            .quality_from(home.vmsc);
+        let gn_quality = net
+            .link_between(home.sgsn, home.ggsn)
+            .expect("Gn link")
+            .quality_from(home.sgsn);
         let mut shard = Shard {
             cfg: cfg.clone(),
             net,
@@ -366,6 +458,13 @@ impl Shard {
             t0_us,
             home_hlr: home.hlr,
             home_cell: home.cell,
+            home_vmsc: home.vmsc,
+            home_sgsn: home.sgsn,
+            home_ggsn: home.ggsn,
+            home_gk: home.gk,
+            gb_quality,
+            gn_quality,
+            plan,
             trunk_gate,
             radio_gate,
             subs,
@@ -395,6 +494,16 @@ impl Shard {
                 shard.push(e.out_ms, Action::Move { local, cell: out_cell });
                 shard.push(e.back_ms, Action::Move { local, cell: home.cell });
             }
+        }
+        let windows: Vec<(u64, u64)> = shard
+            .plan
+            .events
+            .iter()
+            .map(|e| (e.at_ms, e.duration_ms))
+            .collect();
+        for (i, (at_ms, duration_ms)) in windows.into_iter().enumerate() {
+            shard.push(at_ms, Action::FaultStart(i));
+            shard.push(at_ms + duration_ms, Action::FaultEnd(i));
         }
         shard
     }
@@ -469,13 +578,41 @@ impl Shard {
 
     fn handle_action(&mut self, at_us: u64, action: Action) {
         match action {
-            Action::Attempt { local, arrival } => self.attempt(local, at_us, arrival),
+            Action::Attempt { local, arrival } => {
+                self.attempt(local, at_us, arrival, 0, at_us / 1000)
+            }
+            Action::Redial {
+                local,
+                arrival,
+                attempt_no,
+                orig_ms,
+            } => {
+                self.net.stats_mut().count("load.redial_attempts");
+                self.attempt(local, at_us, arrival, attempt_no, orig_ms);
+            }
+            Action::Probe {
+                local,
+                peer_local,
+                arrival,
+                attempt_no,
+                orig_ms,
+                gen,
+            } => self.probe(local, at_us, peer_local, arrival, attempt_no, orig_ms, gen),
+            Action::FaultStart(i) => self.fault_start(i),
+            Action::FaultEnd(i) => self.fault_end(i),
             Action::Hangup {
                 node,
                 peer,
                 local,
                 peer_local,
+                gen,
             } => {
+                if self.subs[local].gen != gen {
+                    // The probe already abandoned this call; its hangup
+                    // must not tear down a redialed successor.
+                    self.net.stats_mut().count("load.stale_actions");
+                    return;
+                }
                 self.net
                     .inject(SimDuration::ZERO, node, Message::Cmd(Command::Hangup));
                 let crossed = self.subs[local].handed_off
@@ -503,7 +640,11 @@ impl Shard {
                     }
                 }
             }
-            Action::Mute { a, b } => {
+            Action::Mute { a, b, local, gen } => {
+                if self.subs[local].gen != gen {
+                    self.net.stats_mut().count("load.stale_actions");
+                    return;
+                }
                 self.net
                     .inject(SimDuration::ZERO, a, Message::Cmd(Command::StopTalking));
                 self.net
@@ -526,7 +667,7 @@ impl Shard {
         }
     }
 
-    fn attempt(&mut self, local: usize, at_us: u64, arrival: Arrival) {
+    fn attempt(&mut self, local: usize, at_us: u64, arrival: Arrival, attempt_no: u32, orig_ms: u64) {
         self.net.stats_mut().count("load.attempts");
         if self.subs[local].away {
             self.net.stats_mut().count("load.away_skipped");
@@ -585,9 +726,18 @@ impl Shard {
             Message::Cmd(Command::Dial { call, called }),
         );
         let at_ms = at_us / 1000;
+        let gen = self.subs[local].gen;
         let mute_ms = CONNECT_GRACE_MS + self.cfg.voice_sample_ms;
         if mute_ms < arrival.hold_ms {
-            self.push(at_ms + mute_ms, Action::Mute { a: orig, b: peer });
+            self.push(
+                at_ms + mute_ms,
+                Action::Mute {
+                    a: orig,
+                    b: peer,
+                    local,
+                    gen,
+                },
+            );
         }
         self.push(
             at_ms + arrival.hold_ms,
@@ -596,8 +746,206 @@ impl Shard {
                 peer,
                 local,
                 peer_local,
+                gen,
             },
         );
+        // Probe the call once it should be in the talking phase. Calls
+        // shorter than the probe point are never probed (their teardown
+        // would race the check).
+        let probe_ms = CONNECT_GRACE_MS + PROBE_DELAY_MS;
+        if probe_ms + 500 < arrival.hold_ms {
+            self.push(
+                at_ms + probe_ms,
+                Action::Probe {
+                    local,
+                    peer_local,
+                    arrival,
+                    attempt_no,
+                    orig_ms,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Verifies that a dialed call reached the talking phase. A dead
+    /// call is attributed to whichever fault window overlapped its
+    /// setup (or the baseline), both parties are freed, and the caller
+    /// redials with exponential back-off and seeded jitter.
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &mut self,
+        local: usize,
+        at_us: u64,
+        peer_local: Option<usize>,
+        arrival: Arrival,
+        attempt_no: u32,
+        orig_ms: u64,
+        gen: u32,
+    ) {
+        if self.subs[local].gen != gen || self.subs[local].away {
+            return;
+        }
+        let state = self
+            .net
+            .node::<MobileStation>(self.subs[local].ms)
+            .expect("subscriber MS")
+            .state();
+        let now_ms = at_us / 1000;
+        if state == MsState::Active {
+            if attempt_no > 0 {
+                // Time from the original (failed) dial to a verified
+                // live call on a later attempt.
+                self.net
+                    .stats_mut()
+                    .observe("load.redial_recovery_ms", (now_ms - orig_ms) as f64);
+            }
+            return;
+        }
+        let dialed_ms = now_ms - (CONNECT_GRACE_MS + PROBE_DELAY_MS);
+        let class = FaultClass::ALL
+            .into_iter()
+            .find(|&c| self.plan.overlaps(c, dialed_ms, now_ms));
+        let key = class.map_or("baseline", FaultClass::key);
+        self.net.stats_mut().count(&format!("load.dropped_{key}"));
+        // Free both parties and invalidate the dead call's remaining
+        // scheduled actions.
+        self.subs[local].gen = self.subs[local].gen.wrapping_add(1);
+        self.subs[local].busy_until_us = at_us;
+        self.subs[local].current_peer = None;
+        if let Some(p) = peer_local {
+            self.subs[p].busy_until_us = at_us;
+            self.subs[p].current_peer = None;
+        }
+        if attempt_no >= MAX_REDIALS {
+            self.net.stats_mut().count("load.redials_exhausted");
+            return;
+        }
+        let global = (self.cfg.base_index + local) as u64;
+        let jitter = SimRng::derive(
+            self.cfg.master_seed,
+            STREAM_REDIAL ^ (global << 8) ^ u64::from(attempt_no),
+        )
+        .range(0, REDIAL_JITTER_MS);
+        let back_ms = (REDIAL_BASE_MS << attempt_no) + jitter;
+        self.push(
+            now_ms + back_ms,
+            Action::Redial {
+                local,
+                arrival,
+                attempt_no: attempt_no + 1,
+                orig_ms,
+            },
+        );
+    }
+
+    /// The home-zone endpoints and healthy quality of a fault-plan link.
+    fn fault_link(&self, link: LinkSel) -> (NodeId, NodeId, LinkQuality) {
+        match link {
+            LinkSel::Gb => (self.home_vmsc, self.home_sgsn, self.gb_quality),
+            LinkSel::Gn => (self.home_sgsn, self.home_ggsn, self.gn_quality),
+        }
+    }
+
+    /// The home-zone node a fault-plan selector names.
+    fn fault_node(&self, node: NodeSel) -> NodeId {
+        match node {
+            NodeSel::Sgsn => self.home_sgsn,
+            NodeSel::Ggsn => self.home_ggsn,
+            NodeSel::Gatekeeper => self.home_gk,
+            NodeSel::Vmsc => self.home_vmsc,
+        }
+    }
+
+    /// Opens impairment window `i` of the fault plan.
+    fn fault_start(&mut self, i: usize) {
+        let ev = self.plan.events[i];
+        let key = ev.kind.class().key();
+        self.net.stats_mut().count("load.faults_injected");
+        self.net
+            .stats_mut()
+            .count_by(&format!("load.unavailability_ms_{key}"), ev.duration_ms);
+        match ev.kind {
+            FaultKind::DegradeLink {
+                link,
+                added_latency,
+                loss,
+                bandwidth_bps,
+            } => {
+                let (a, b, base) = self.fault_link(link);
+                let degraded = LinkQuality {
+                    latency: base.latency + added_latency,
+                    jitter: base.jitter,
+                    loss,
+                    bandwidth_bps: Some(bandwidth_bps),
+                };
+                self.net.set_link_quality(a, b, degraded);
+            }
+            FaultKind::Crash { node } => {
+                let id = self.fault_node(node);
+                self.net
+                    .inject(SimDuration::ZERO, id, Message::Cmd(Command::Crash));
+            }
+            FaultKind::Blackhole { node } => {
+                let id = self.fault_node(node);
+                self.net
+                    .inject(SimDuration::ZERO, id, Message::Cmd(Command::Blackhole));
+            }
+        }
+    }
+
+    /// Closes impairment window `i` and drives recovery: links get
+    /// their healthy quality back, restarted peers trigger a VMSC
+    /// resync, and a VMSC cold start power-cycles the home population
+    /// so every handset re-registers.
+    fn fault_end(&mut self, i: usize) {
+        let ev = self.plan.events[i];
+        match ev.kind {
+            FaultKind::DegradeLink { link, .. } => {
+                let (a, b, base) = self.fault_link(link);
+                self.net.set_link_quality(a, b, base);
+            }
+            FaultKind::Blackhole { node } => {
+                let id = self.fault_node(node);
+                self.net
+                    .inject(SimDuration::ZERO, id, Message::Cmd(Command::Restore));
+            }
+            FaultKind::Crash { node } => {
+                let id = self.fault_node(node);
+                self.net
+                    .inject(SimDuration::ZERO, id, Message::Cmd(Command::Restore));
+                if node == NodeSel::Vmsc {
+                    // The VMSC cold-started with an empty MS table;
+                    // power-cycle the home population (staggered like
+                    // boot) so every handset re-runs location update,
+                    // PDP activation and RAS registration.
+                    for local in 0..self.subs.len() {
+                        if self.subs[local].away {
+                            continue;
+                        }
+                        let ms = self.subs[local].ms;
+                        let delay = SimDuration::from_millis(1 + local as u64 * 7);
+                        self.net
+                            .inject(delay, ms, Message::Cmd(Command::PowerOff));
+                        self.net.inject(
+                            delay + SimDuration::from_millis(3),
+                            ms,
+                            Message::Cmd(Command::PowerOn),
+                        );
+                        self.net.stats_mut().count("load.fault_recycles");
+                    }
+                } else {
+                    // A backbone peer restarted with empty tables: the
+                    // VMSC re-attaches every subscriber to rebuild MM
+                    // state, PDP contexts and gatekeeper registrations.
+                    self.net.inject(
+                        SimDuration::from_millis(RESYNC_DELAY_MS),
+                        self.home_vmsc,
+                        Message::Cmd(Command::Resync),
+                    );
+                }
+            }
+        }
     }
 
     /// The subscriber's excursion leaves the shard. Mid-call (and only
@@ -629,7 +977,16 @@ impl Shard {
                 .inject(SimDuration::ZERO, peer, Message::Cmd(Command::StartTalking));
             let mute_at_ms = at_us / 1000 + HANDOFF_VOICE_MS;
             if mute_at_ms * 1000 + 500_000 < self.subs[local].busy_until_us {
-                self.push(mute_at_ms, Action::Mute { a: ms, b: peer });
+                let gen = self.subs[local].gen;
+                self.push(
+                    mute_at_ms,
+                    Action::Mute {
+                        a: ms,
+                        b: peer,
+                        local,
+                        gen,
+                    },
+                );
             }
             self.net.inject(
                 SimDuration::ZERO,

@@ -2,7 +2,7 @@
 //! configuration and the master seed, never of the machine.
 
 use vgprs_load::{
-    partition, run_load, subscriber_plan, CallMix, LoadConfig, PopulationConfig,
+    partition, run_load, subscriber_plan, CallMix, FaultPlanConfig, LoadConfig, PopulationConfig,
 };
 
 fn small_cfg(threads: usize) -> LoadConfig {
@@ -194,6 +194,83 @@ fn cross_shard_reruns_are_identical() {
     let b = run_load(&cross_cfg(2, 4));
     assert_eq!(a.render_deterministic(), b.render_deterministic());
     assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+fn chaos_cfg(threads: usize) -> LoadConfig {
+    LoadConfig {
+        faults: FaultPlanConfig::all(1.0),
+        ..small_cfg(threads)
+    }
+}
+
+/// Fault injection rides the same deterministic rails as everything
+/// else: a fixed fault plan produces bit-identical reports at every
+/// worker-thread count, on both event kernels.
+#[test]
+fn faulted_runs_are_thread_and_kernel_invariant() {
+    let base = run_load(&chaos_cfg(1));
+    for threads in [2, 8] {
+        for kernel in [vgprs_sim::Kernel::Wheel, vgprs_sim::Kernel::Heap] {
+            let other = run_load(&LoadConfig {
+                kernel,
+                ..chaos_cfg(threads)
+            });
+            assert_eq!(
+                base.render_deterministic(),
+                other.render_deterministic(),
+                "faulted KPI text diverged at {threads} threads on {kernel:?}"
+            );
+            assert_eq!(
+                base.fingerprint(),
+                other.fingerprint(),
+                "faulted fingerprint diverged at {threads} threads on {kernel:?}"
+            );
+        }
+    }
+}
+
+/// A zero-intensity fault config compiles to an empty plan, which must
+/// leave the run byte-identical to one that never heard of faults.
+#[test]
+fn zero_intensity_faults_change_nothing() {
+    let plain = run_load(&small_cfg(2));
+    let zero = run_load(&LoadConfig {
+        faults: FaultPlanConfig::all(0.0),
+        ..small_cfg(2)
+    });
+    assert_eq!(plain.render_deterministic(), zero.render_deterministic());
+    assert_eq!(plain.fingerprint(), zero.fingerprint());
+}
+
+/// The chaos configuration must actually hurt — and the recovery
+/// machinery must actually recover.
+#[test]
+fn faults_bite_and_recovery_runs() {
+    let r = run_load(&chaos_cfg(2));
+    assert!(
+        r.faults_injected() > 0,
+        "no impairment windows opened:\n{}",
+        r.render_deterministic()
+    );
+    let (ras_retries, arq_retries) = r.guard_retries();
+    let dropped = r.dropped_by_class(vgprs_load::FaultClass::LinkDegrade)
+        + r.dropped_by_class(vgprs_load::FaultClass::NodeCrash)
+        + r.dropped_by_class(vgprs_load::FaultClass::Blackhole);
+    assert!(
+        dropped > 0 || ras_retries + arq_retries > 0,
+        "faults were injected but nothing dropped or retried:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.redial_attempts() > 0,
+        "no caller ever redialed:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.recovery_time().count() > 0,
+        "recovery-time histogram is empty:\n{}",
+        r.render_deterministic()
+    );
 }
 
 /// The busy hour must exercise every KPI the report advertises.

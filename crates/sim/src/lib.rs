@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod context;
 mod event;
 mod interface;
@@ -72,6 +73,7 @@ mod timer;
 mod trace;
 mod wheel;
 
+pub use backoff::Backoff;
 pub use context::{Context, TimerToken};
 pub use event::Kernel;
 pub use interface::Interface;

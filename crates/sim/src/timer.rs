@@ -142,6 +142,28 @@ mod tests {
     }
 
     #[test]
+    fn cancel_during_backoff_never_fires_stale_attempt() {
+        // A retry ladder re-arms a fresh timer per attempt and cancels the
+        // previous one. However the cancel/re-arm/fire operations interleave,
+        // a cancelled attempt's token must never fire — even when its slot
+        // has been recycled for the replacement attempt.
+        let mut t = TimerTable::new();
+        let mut cancelled: Vec<TimerToken> = Vec::new();
+        let mut armed = t.alloc();
+        for _ in 0..100 {
+            assert!(t.cancel(armed), "live attempt cancels exactly once");
+            cancelled.push(armed);
+            armed = t.alloc();
+            for stale in &cancelled {
+                assert!(!t.try_fire(*stale), "cancelled attempt fired");
+            }
+        }
+        assert_eq!(t.live(), 1, "only the newest attempt is armed");
+        assert!(t.slots() <= 2, "ladder churn must not grow the table");
+        assert!(t.try_fire(armed), "the live attempt still fires");
+    }
+
+    #[test]
     fn concurrent_timers_get_distinct_slots() {
         let mut t = TimerTable::new();
         let toks: Vec<_> = (0..5).map(|_| t.alloc()).collect();

@@ -35,6 +35,12 @@ pub enum Cause {
     ProtocolError,
     /// The MS cannot be reached (detached or paging failed).
     SubscriberAbsent,
+    /// Transient network failure — retry may succeed (Q.850 cause 41).
+    /// Used when a recovery ladder exhausts its bounded retries.
+    TemporaryFailure,
+    /// A supervision timer expired and recovery released the call
+    /// (Q.850 cause 102).
+    RecoveryOnTimerExpiry,
 }
 
 impl Cause {
@@ -53,6 +59,8 @@ impl Cause {
             Cause::ServiceNotAllowed => 63,
             Cause::AdmissionRejected => 21,
             Cause::PdpResourceUnavailable => 38,
+            Cause::TemporaryFailure => 41,
+            Cause::RecoveryOnTimerExpiry => 102,
             Cause::ProtocolError => 111,
         }
     }
@@ -71,9 +79,11 @@ impl Cause {
             21 => Cause::AdmissionRejected,
             34 => Cause::NetworkCongestion,
             38 => Cause::PdpResourceUnavailable,
+            41 => Cause::TemporaryFailure,
             47 => Cause::RadioResourceUnavailable,
             57 => Cause::AuthenticationFailure,
             63 => Cause::ServiceNotAllowed,
+            102 => Cause::RecoveryOnTimerExpiry,
             111 => Cause::ProtocolError,
             _ => return None,
         })
@@ -85,7 +95,7 @@ impl Cause {
     }
 
     /// All causes, for exhaustive round-trip tests.
-    pub const ALL: [Cause; 13] = [
+    pub const ALL: [Cause; 15] = [
         Cause::NormalClearing,
         Cause::UserBusy,
         Cause::NoAnswer,
@@ -99,6 +109,8 @@ impl Cause {
         Cause::PdpResourceUnavailable,
         Cause::ProtocolError,
         Cause::SubscriberAbsent,
+        Cause::TemporaryFailure,
+        Cause::RecoveryOnTimerExpiry,
     ];
 }
 
@@ -118,6 +130,8 @@ impl fmt::Display for Cause {
             Cause::PdpResourceUnavailable => "PDP resource unavailable",
             Cause::ProtocolError => "protocol error",
             Cause::SubscriberAbsent => "subscriber absent",
+            Cause::TemporaryFailure => "temporary failure",
+            Cause::RecoveryOnTimerExpiry => "recovery on timer expiry",
         };
         f.write_str(text)
     }

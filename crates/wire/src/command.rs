@@ -38,6 +38,19 @@ pub enum Command {
         /// Destination cell.
         cell: CellId,
     },
+    /// Fault injection: crash a network element. All volatile state is
+    /// lost and the node drops traffic until [`Command::Restore`].
+    Crash,
+    /// Fault injection: the node keeps its state but silently drops all
+    /// traffic until [`Command::Restore`] — peers see timeouts, not
+    /// rejections.
+    Blackhole,
+    /// Fault injection: end a [`Command::Crash`] or [`Command::Blackhole`]
+    /// window; the node resumes serving (with whatever state survived).
+    Restore,
+    /// Recovery: tell the VMSC a backbone peer restarted; it re-runs
+    /// attach → PDP activation → gatekeeper RRQ for every known MS.
+    Resync,
 }
 
 impl Command {
@@ -52,6 +65,10 @@ impl Command {
             Command::StartTalking => "Cmd_Start_Talking",
             Command::StopTalking => "Cmd_Stop_Talking",
             Command::MoveToCell { .. } => "Cmd_Move_To_Cell",
+            Command::Crash => "Cmd_Crash",
+            Command::Blackhole => "Cmd_Blackhole",
+            Command::Restore => "Cmd_Restore",
+            Command::Resync => "Cmd_Resync",
         }
     }
 }
@@ -72,5 +89,8 @@ mod tests {
             "Cmd_Dial"
         );
         assert_eq!(Command::MoveToCell { cell: CellId(2) }.label(), "Cmd_Move_To_Cell");
+        assert_eq!(Command::Crash.label(), "Cmd_Crash");
+        assert_eq!(Command::Restore.label(), "Cmd_Restore");
+        assert_eq!(Command::Resync.label(), "Cmd_Resync");
     }
 }

@@ -20,6 +20,12 @@ echo "==> event-kernel differential smoke (heap vs wheel fingerprints)"
 # schedule diverges from the heap oracle. Throughput is not gated here.
 cargo run --release -q -p vgprs-bench --bin harness -- kernelbench --check
 
+echo "==> chaos determinism smoke (faulted runs: threads x kernels + zero plan)"
+# A fixed fault plan must fingerprint identically at every thread count
+# on both kernels, and a zero-intensity plan must reproduce the
+# fault-free run byte for byte.
+cargo run --release -q -p vgprs-bench --bin harness -- chaos --check
+
 echo "==> no ignored tests"
 # An #[ignore]d test is a silently skipped promise. Fail loudly instead.
 if grep -rn '#\[ignore' crates tests; then
