@@ -15,14 +15,19 @@
 //! harness chaos [--subscribers N] [--shards N] [--threads N] [--seed N]
 //!               [--window-secs N] [--rate F] [--hold SECS] [--out PATH]
 //!               [--check]
+//! harness surge [--subscribers N] [--shards N] [--threads N] [--seed N]
+//!               [--window-secs N] [--rate F] [--hold SECS]
+//!               [--gk-bandwidth N] [--paging-rate N] [--gk-shed F]
+//!               [--pdp-rate N] [--out PATH] [--check]
 //! harness bench
 //! ```
 //!
 //! With no argument it runs every paper experiment (`all`). The outputs
 //! recorded in `EXPERIMENTS.md` are produced by `harness all`, the
 //! capacity table by `harness capacity`, the event-kernel baseline
-//! in `BENCH_kernel.json` by `harness kernelbench`, and the resilience
-//! matrix in `BENCH_chaos.json` by `harness chaos`.
+//! in `BENCH_kernel.json` by `harness kernelbench`, the resilience
+//! matrix in `BENCH_chaos.json` by `harness chaos`, and the flash-crowd
+//! overload sweep in `BENCH_surge.json` by `harness surge`.
 
 use std::time::Instant;
 
@@ -30,14 +35,18 @@ use vgprs_bench::experiments::{
     c1_voice_quality, c2_idle_ablation, c2_setup_latency, c3_context_memory, c4_signaling,
     c5_handoff_cost, interface_usage,
 };
+use vgprs_bench::harness::{
+    heading, load_config_from, meta_json, write_file, Flags, RunDefaults, SEED,
+};
 use vgprs_bench::scenarios::{
     intersystem_handoff, tromboning_classic, tromboning_vgprs, SingleZone,
 };
-use vgprs_load::{capacity_knee, run_load, CallMix, FaultClass, FaultPlanConfig, LoadConfig};
+use vgprs_load::{
+    capacity_knee, run_load, FaultClass, FaultPlanConfig, LoadConfig, OverloadControls,
+    ScenarioConfig,
+};
 use vgprs_sim::{Kernel, LadderDiagram, SimDuration};
 use vgprs_wire::{CallId, Command, Message};
-
-const SEED: u64 = 42;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +56,7 @@ fn main() {
         "capacity" => return capacity_cmd(&args[1..]),
         "kernelbench" => return kernelbench_cmd(&args[1..]),
         "chaos" => return chaos_cmd(&args[1..]),
+        "surge" => return surge_cmd(&args[1..]),
         "bench" => return bench_cmd(),
         _ => {}
     }
@@ -78,87 +88,15 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment {arg:?}; expected fig1..fig9, c1..c5, c2b, \
-             load, capacity, kernelbench, chaos, bench or all"
+             load, capacity, kernelbench, chaos, surge, bench or all"
         );
         std::process::exit(2);
     }
 }
 
-/// Tiny flag parser: `--name value` pairs only.
-struct Flags<'a>(&'a [String]);
-
-impl Flags<'_> {
-    fn get(&self, name: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.0.get(i + 1))
-            .map(String::as_str)
-    }
-
-    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        match self.get(name) {
-            None => default,
-            Some(raw) => raw.parse().unwrap_or_else(|_| {
-                eprintln!("invalid value {raw:?} for {name}");
-                std::process::exit(2);
-            }),
-        }
-    }
-
-    /// Presence of a bare flag with no value (e.g. `--check`).
-    fn has(&self, name: &str) -> bool {
-        self.0.iter().any(|a| a == name)
-    }
-}
-
-fn parse_kernel(raw: &str) -> Kernel {
-    match raw {
-        "heap" => Kernel::Heap,
-        "wheel" => Kernel::Wheel,
-        _ => {
-            eprintln!("invalid value {raw:?} for --kernel; expected heap or wheel");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn load_config_from(flags: &Flags<'_>) -> LoadConfig {
-    let mut cfg = LoadConfig {
-        subscribers: flags.parse("--subscribers", 1024),
-        shards: flags.parse("--shards", 0),
-        threads: flags.parse("--threads", 0),
-        seed: flags.parse("--seed", SEED),
-        tch_capacity: flags.parse("--tch", 64),
-        voice_sample_ms: flags.parse("--voice-sample-ms", 1_000),
-        ..LoadConfig::default()
-    };
-    cfg.population.window_secs = flags.parse("--window-secs", 60);
-    cfg.population.calls_per_sub_hour = flags.parse("--rate", 4.0);
-    cfg.population.mean_hold_secs = flags.parse("--hold", 90.0);
-    cfg.population.mobility_fraction = flags.parse("--mobility", 0.05);
-    cfg.population.cross_shard_fraction = flags.parse("--cross-shard-rate", 0.0);
-    if let Some(raw) = flags.get("--kernel") {
-        cfg.kernel = parse_kernel(raw);
-    }
-    if let Some(mix) = flags.get("--mix") {
-        let parts: Vec<f64> = mix.split(',').filter_map(|p| p.parse().ok()).collect();
-        if parts.len() != 3 {
-            eprintln!("--mix expects MO,MT,M2M weights, e.g. 0.45,0.45,0.10");
-            std::process::exit(2);
-        }
-        cfg.population.mix = CallMix {
-            mo: parts[0],
-            mt: parts[1],
-            m2m: parts[2],
-        };
-    }
-    cfg
-}
-
 fn load_cmd(rest: &[String]) {
     let flags = Flags(rest);
-    let cfg = load_config_from(&flags);
+    let cfg = load_config_from(&flags, &RunDefaults::default());
     heading(&format!(
         "Busy hour — {} subscribers, {} shards, {} threads, seed {}, {} kernel",
         cfg.subscribers,
@@ -178,7 +116,7 @@ fn load_cmd(rest: &[String]) {
 
 fn capacity_cmd(rest: &[String]) {
     let flags = Flags(rest);
-    let mut base = load_config_from(&flags);
+    let mut base = load_config_from(&flags, &RunDefaults::default());
     if flags.get("--subscribers").is_none() {
         base.subscribers = 2048;
     }
@@ -237,6 +175,7 @@ fn capacity_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    out.push_str(&format!("{},\n", meta_json(base)));
     out.push_str(&format!("  \"subscribers\": {},\n", base.subscribers));
     out.push_str(&format!("  \"seed\": {},\n", base.seed));
     out.push_str(&format!("  \"max_load_factor\": {max_load},\n"));
@@ -384,6 +323,7 @@ fn kernelbench_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"workload\": \"busy_hour_shard\",\n");
+    out.push_str(&format!("{},\n", meta_json(cfg)));
     out.push_str(&format!("  \"subscribers\": {},\n", cfg.subscribers));
     out.push_str(&format!("  \"shards\": {},\n", cfg.effective_shards()));
     out.push_str(&format!("  \"threads\": {},\n", cfg.effective_threads()));
@@ -485,16 +425,17 @@ fn chaos_cmd(rest: &[String]) {
     if flags.has("--check") {
         return chaos_check(&flags);
     }
-    let mut base = LoadConfig {
-        subscribers: flags.parse("--subscribers", 512),
-        shards: flags.parse("--shards", 2),
-        threads: flags.parse("--threads", 0),
-        seed: flags.parse("--seed", SEED),
-        ..LoadConfig::default()
-    };
-    base.population.window_secs = flags.parse("--window-secs", 120);
-    base.population.calls_per_sub_hour = flags.parse("--rate", 60.0);
-    base.population.mean_hold_secs = flags.parse("--hold", 20.0);
+    let base = load_config_from(
+        &flags,
+        &RunDefaults {
+            subscribers: 512,
+            shards: 2,
+            window_secs: 120,
+            calls_per_sub_hour: 60.0,
+            mean_hold_secs: 20.0,
+            ..RunDefaults::default()
+        },
+    );
     heading(&format!(
         "Chaos matrix — {} subscribers, {} shards, seed {}: fault classes x intensity",
         base.subscribers,
@@ -535,6 +476,7 @@ fn chaos_json(base: &LoadConfig, cells: &[ChaosCell]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"workload\": \"busy_hour_chaos\",\n");
+    out.push_str(&format!("{},\n", meta_json(base)));
     out.push_str(&format!("  \"subscribers\": {},\n", base.subscribers));
     out.push_str(&format!("  \"shards\": {},\n", base.effective_shards()));
     out.push_str(&format!("  \"seed\": {},\n", base.seed));
@@ -581,16 +523,18 @@ fn chaos_json(base: &LoadConfig, cells: &[ChaosCell]) -> String {
 /// identically at every thread count on both kernels, and a
 /// zero-intensity plan must reproduce the fault-free run exactly.
 fn chaos_check(flags: &Flags<'_>) {
-    let mut base = LoadConfig {
-        subscribers: flags.parse("--subscribers", 96),
-        shards: flags.parse("--shards", 4),
-        threads: 1,
-        seed: flags.parse("--seed", SEED),
-        ..LoadConfig::default()
-    };
-    base.population.window_secs = flags.parse("--window-secs", 90);
-    base.population.calls_per_sub_hour = flags.parse("--rate", 40.0);
-    base.population.mean_hold_secs = flags.parse("--hold", 20.0);
+    let base = load_config_from(
+        flags,
+        &RunDefaults {
+            subscribers: 96,
+            shards: 4,
+            threads: 1,
+            window_secs: 90,
+            calls_per_sub_hour: 40.0,
+            mean_hold_secs: 20.0,
+            ..RunDefaults::default()
+        },
+    );
     heading(&format!(
         "Chaos determinism check — {} subscribers, {} shards, seed {}",
         base.subscribers,
@@ -661,11 +605,337 @@ fn chaos_check(flags: &Flags<'_>) {
     println!("  chaos determinism holds");
 }
 
-fn write_file(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("cannot write {path}: {e}");
+/// One cell of the surge sweep: a flash-crowd intensity with the
+/// overload controls on or off, and the KPIs it produced.
+struct SurgeCell {
+    intensity: f64,
+    controls: bool,
+    attempts: u64,
+    attempts_peak: u64,
+    peak_drop_rate: f64,
+    steady_drop_rate: f64,
+    pages_throttled: u64,
+    pages_shed: u64,
+    gk_shed: u64,
+    gk_deferred: u64,
+    pdp_deferred: u64,
+    pdp_rejected: u64,
+    admission_n: u64,
+    admission_p50: f64,
+    admission_p99: f64,
+    setup_p99: f64,
+    mos: f64,
+    fingerprint: u64,
+}
+
+impl SurgeCell {
+    /// Total overload-control interventions — the quantity that must
+    /// grow monotonically with shock intensity when the controls are on.
+    fn interventions(&self) -> u64 {
+        self.pages_throttled
+            + self.pages_shed
+            + self.gk_shed
+            + self.pdp_deferred
+            + self.pdp_rejected
+    }
+}
+
+/// The surge flag vocabulary shared by the sweep and the check: the
+/// base workload plus the three control knobs.
+fn surge_controls(flags: &Flags<'_>) -> OverloadControls {
+    let std = OverloadControls::standard();
+    OverloadControls {
+        paging_rate_per_s: flags.parse("--paging-rate", std.paging_rate_per_s),
+        gk_shed_utilization: flags.parse("--gk-shed", std.gk_shed_utilization),
+        pdp_rate_per_s: flags.parse("--pdp-rate", std.pdp_rate_per_s),
+    }
+}
+
+fn run_surge_cell(
+    base: &LoadConfig,
+    controls: OverloadControls,
+    intensity: f64,
+    on: bool,
+) -> SurgeCell {
+    run_surge_cell_verbose(base, controls, intensity, on, false)
+}
+
+fn run_surge_cell_verbose(
+    base: &LoadConfig,
+    controls: OverloadControls,
+    intensity: f64,
+    on: bool,
+    verbose: bool,
+) -> SurgeCell {
+    let mut cfg = base.clone();
+    cfg.scenario = ScenarioConfig::flash(intensity);
+    cfg.controls = if on { controls } else { OverloadControls::default() };
+    let report = run_load(&cfg);
+    if verbose {
+        println!(
+            "\n--- {intensity}x, controls {} ---",
+            if on { "on" } else { "off" }
+        );
+        println!("{}", report.render_deterministic());
+    }
+    let admission = report.admission_delay();
+    SurgeCell {
+        intensity,
+        controls: on,
+        attempts: report.attempts(),
+        attempts_peak: report.attempts_peak(),
+        peak_drop_rate: report.peak_drop_rate(),
+        steady_drop_rate: report.steady_drop_rate(),
+        pages_throttled: report.pages_throttled(),
+        pages_shed: report.pages_shed(),
+        gk_shed: report.gk_admission_shed(),
+        gk_deferred: report.gk_shed_deferred(),
+        pdp_deferred: report.pdp_deferred(),
+        pdp_rejected: report.pdp_rejected(),
+        admission_n: admission.count(),
+        admission_p50: admission.percentile(50.0),
+        admission_p99: admission.percentile(99.0),
+        setup_p99: report.setup_delay().percentile(99.0),
+        mos: report.mos(),
+        fingerprint: report.fingerprint(),
+    }
+}
+
+/// Flash-crowd overload sweep: shock intensity x {controls off, on} on
+/// one fixed workload, recording shed/throttle volumes, admission
+/// delay, peak-vs-steady drop rates and MOS in `BENCH_surge.json`.
+/// `--check` instead runs the surge determinism + monotonicity gate.
+fn surge_cmd(rest: &[String]) {
+    let flags = Flags(rest);
+    if flags.has("--check") {
+        return surge_check(&flags);
+    }
+    let base = load_config_from(
+        &flags,
+        &RunDefaults {
+            subscribers: 512,
+            shards: 2,
+            window_secs: 120,
+            calls_per_sub_hour: 30.0,
+            mean_hold_secs: 20.0,
+            gk_bandwidth: 25_600,
+            ..RunDefaults::default()
+        },
+    );
+    let controls = surge_controls(&flags);
+    heading(&format!(
+        "Surge sweep — {} subscribers, {} shards, seed {}: shock intensity x overload controls",
+        base.subscribers,
+        base.effective_shards(),
+        base.seed
+    ));
+    let verbose = flags.has("--verbose");
+    let mut cells = Vec::new();
+    for intensity in [0.0, 4.0, 10.0, 25.0] {
+        for on in [false, true] {
+            cells.push(run_surge_cell_verbose(&base, controls, intensity, on, verbose));
+        }
+    }
+    println!(
+        "  {:>5} {:<8} | {:>8} {:>7} | {:>6} {:>6} | {:>6} {:>5} {:>5} | {:>9} | {:>9} {:>5}",
+        "shock", "controls", "attempts", "peak", "pk dr%", "st dr%", "thrtl", "shed", "GK", "adm p99", "setup p99", "MOS"
+    );
+    for c in &cells {
+        println!(
+            "  {:>4.0}x {:<8} | {:>8} {:>7} | {:>5.1}% {:>5.1}% | {:>6} {:>5} {:>5} | {:>7.1}ms | {:>7.1}ms {:>5.2}",
+            c.intensity,
+            if c.controls { "on" } else { "off" },
+            c.attempts,
+            c.attempts_peak,
+            c.peak_drop_rate * 100.0,
+            c.steady_drop_rate * 100.0,
+            c.pages_throttled,
+            c.pages_shed,
+            c.gk_shed,
+            c.admission_p99,
+            c.setup_p99,
+            c.mos
+        );
+    }
+    let path = flags.get("--out").unwrap_or("BENCH_surge.json");
+    write_file(path, &surge_json(&base, controls, &cells));
+    println!("  recorded: {path}");
+}
+
+fn surge_json(base: &LoadConfig, controls: OverloadControls, cells: &[SurgeCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"workload\": \"busy_hour_surge\",\n");
+    out.push_str(&format!("{},\n", meta_json(base)));
+    out.push_str(&format!("  \"subscribers\": {},\n", base.subscribers));
+    out.push_str(&format!("  \"shards\": {},\n", base.effective_shards()));
+    out.push_str(&format!("  \"seed\": {},\n", base.seed));
+    out.push_str(&format!(
+        "  \"window_secs\": {},\n",
+        base.population.window_secs
+    ));
+    out.push_str(&format!(
+        "  \"controls\": {{\"paging_rate_per_s\": {}, \"gk_shed_utilization\": {}, \
+         \"pdp_rate_per_s\": {}}},\n",
+        controls.paging_rate_per_s, controls.gk_shed_utilization, controls.pdp_rate_per_s
+    ));
+    out.push_str("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"intensity\": {}, \"controls\": {}, \"attempts\": {}, \
+             \"attempts_peak\": {}, \"peak_drop_rate\": {:.6}, \"steady_drop_rate\": {:.6}, \
+             \"pages_throttled\": {}, \"pages_shed\": {}, \"gk_admission_shed\": {}, \
+             \"gk_shed_deferred\": {}, \"pdp_deferred\": {}, \"pdp_rejected\": {}, \
+             \"admission_delay_n\": {}, \"admission_delay_p50_ms\": {:.1}, \
+             \"admission_delay_p99_ms\": {:.1}, \"setup_p99_ms\": {:.1}, \"mos\": {:.3}, \
+             \"fingerprint\": \"{:016x}\"}}",
+            c.intensity,
+            c.controls,
+            c.attempts,
+            c.attempts_peak,
+            c.peak_drop_rate,
+            c.steady_drop_rate,
+            c.pages_throttled,
+            c.pages_shed,
+            c.gk_shed,
+            c.gk_deferred,
+            c.pdp_deferred,
+            c.pdp_rejected,
+            c.admission_n,
+            c.admission_p50,
+            c.admission_p99,
+            c.setup_p99,
+            c.mos,
+            c.fingerprint
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The surge determinism + monotonicity gate:
+///
+/// 1. A zero-shock plan with the controls off must reproduce the plain
+///    flat busy-hour run bit-for-bit (fingerprint equality).
+/// 2. A surged, controlled run must fingerprint identically at every
+///    thread count on both kernels.
+/// 3. With the controls on, total interventions must grow monotonically
+///    with shock intensity, and must be nonzero at the top intensity.
+fn surge_check(flags: &Flags<'_>) {
+    let base = load_config_from(
+        flags,
+        &RunDefaults {
+            subscribers: 96,
+            shards: 4,
+            threads: 1,
+            window_secs: 90,
+            calls_per_sub_hour: 40.0,
+            mean_hold_secs: 20.0,
+            gk_bandwidth: 1_280,
+            ..RunDefaults::default()
+        },
+    );
+    // Aggressive knobs so the tiny check population still trips every
+    // control within the 90 s window.
+    let controls = OverloadControls {
+        paging_rate_per_s: flags.parse("--paging-rate", 2),
+        gk_shed_utilization: flags.parse("--gk-shed", 0.5),
+        pdp_rate_per_s: flags.parse("--pdp-rate", 2),
+    };
+    heading(&format!(
+        "Surge determinism check — {} subscribers, {} shards, seed {}",
+        base.subscribers,
+        base.effective_shards(),
+        base.seed
+    ));
+    let mut failed = false;
+
+    let plain = run_load(&base);
+    let zero = run_load(&LoadConfig {
+        scenario: ScenarioConfig::flash(0.0),
+        ..base.clone()
+    });
+    if plain.fingerprint() == zero.fingerprint() {
+        println!("  zero-shock == flat busy hour: {:016x}", plain.fingerprint());
+    } else {
+        eprintln!(
+            "  ZERO-SHOCK DIVERGENCE: flat {:016x} != zero-shock plan {:016x}",
+            plain.fingerprint(),
+            zero.fingerprint()
+        );
+        failed = true;
+    }
+
+    let mut surged = base.clone();
+    surged.scenario = ScenarioConfig::flash(10.0);
+    surged.controls = controls;
+    let reference = run_load(&surged);
+    println!(
+        "  surged reference (1 thread, wheel): {:016x} ({} peak attempts)",
+        reference.fingerprint(),
+        reference.attempts_peak()
+    );
+    if reference.attempts_peak() == 0 {
+        eprintln!("  NO PEAK ATTEMPTS: the shock never materialized");
+        failed = true;
+    }
+    for threads in [1usize, 2, 8] {
+        for kernel in [Kernel::Wheel, Kernel::Heap] {
+            if threads == 1 && kernel == Kernel::Wheel {
+                continue; // that is the reference itself
+            }
+            let other = run_load(&LoadConfig {
+                threads,
+                kernel,
+                ..surged.clone()
+            });
+            if other.fingerprint() == reference.fingerprint() {
+                println!("  {threads} thread(s) on {kernel}: identical");
+            } else {
+                eprintln!(
+                    "  SURGE DIVERGENCE at {threads} thread(s) on {kernel}: \
+                     {:016x} != {:016x}",
+                    other.fingerprint(),
+                    reference.fingerprint()
+                );
+                failed = true;
+            }
+        }
+    }
+
+    let mut last = None;
+    for intensity in [4.0, 10.0, 25.0] {
+        let cell = run_surge_cell(&base, controls, intensity, true);
+        println!(
+            "  controls on at {:.0}x: {} interventions, peak drop {:.1}%",
+            intensity,
+            cell.interventions(),
+            cell.peak_drop_rate * 100.0
+        );
+        if let Some(prev) = last {
+            if cell.interventions() < prev {
+                eprintln!(
+                    "  NON-MONOTONE: {} interventions at {:.0}x after {} below it",
+                    cell.interventions(),
+                    intensity,
+                    prev
+                );
+                failed = true;
+            }
+        }
+        last = Some(cell.interventions());
+    }
+    if last == Some(0) {
+        eprintln!("  CONTROLS NEVER ENGAGED: the monotonicity check is vacuous");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
+    println!("  surge determinism and monotone degradation hold");
 }
 
 /// Instant-based micro-benchmarks (successor to the criterion benches,
@@ -734,12 +1004,6 @@ fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
     } else {
         println!("  {name:<28} {:>10.0} ns/iter", median * 1e9);
     }
-}
-
-fn heading(title: &str) {
-    println!("\n{}", "=".repeat(72));
-    println!("{title}");
-    println!("{}", "=".repeat(72));
 }
 
 fn fig1() {

@@ -98,6 +98,15 @@ pub struct VgprsZoneConfig {
     /// Off by default so fault-free runs keep their historical event
     /// streams bit-identical.
     pub resilience: bool,
+    /// Overload control: VMSC paging-request throttle, pages per
+    /// simulated second (`0` = unlimited, the historical behavior).
+    pub paging_rate_per_s: u32,
+    /// Overload control: gatekeeper ARJ load-shed threshold as a
+    /// fraction of the admission budget (`0.0` = disabled).
+    pub gk_shed_utilization: f64,
+    /// Overload control: SGSN PDP-activation admission rate per
+    /// simulated second (`0` = unlimited).
+    pub pdp_rate_per_s: u32,
     /// Link latencies.
     pub latency: LatencyProfile,
 }
@@ -119,6 +128,9 @@ impl VgprsZoneConfig {
             auth_on_access: true,
             deactivate_idle_contexts: false,
             resilience: false,
+            paging_rate_per_s: 0,
+            gk_shed_utilization: 0.0,
+            pdp_rate_per_s: 0,
             latency: LatencyProfile::default(),
         }
     }
@@ -171,12 +183,16 @@ impl VgprsZone {
                 GatekeeperConfig {
                     addr: cfg.gk_addr,
                     bandwidth_budget: cfg.gk_bandwidth,
+                    shed_utilization: cfg.gk_shed_utilization,
                 },
                 router,
             ),
         );
         let ggsn = net.add_node(&n("ggsn"), Ggsn::new(cfg.pool.0, cfg.pool.1));
-        let sgsn = net.add_node(&n("sgsn"), Sgsn::new(PointCode(50), ggsn));
+        let sgsn = net.add_node(
+            &n("sgsn"),
+            Sgsn::new(PointCode(50), ggsn).with_admission_rate(cfg.pdp_rate_per_s),
+        );
 
         // GSM side.
         let hlr = net.add_node(&n("hlr"), Hlr::new());
@@ -203,6 +219,7 @@ impl VgprsZone {
                     gk: cfg.gk_addr,
                     deactivate_idle_contexts: cfg.deactivate_idle_contexts,
                     resilience: cfg.resilience,
+                    paging_rate_per_s: cfg.paging_rate_per_s,
                 },
                 vlr,
                 sgsn,

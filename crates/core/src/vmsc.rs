@@ -48,6 +48,8 @@ const NS_ARQ: u64 = 3;
 const NS_PAGING: u64 = 4;
 /// Q.931 setup supervision (resilience mode).
 const NS_SETUP: u64 = 5;
+/// Paging-throttle drain tick (overload control; no payload).
+const NS_PAGING_DRAIN: u64 = 6;
 /// Bounded retry schedule for RAS registration (RRQ) guards.
 const RAS_BACKOFF: Backoff = Backoff {
     base: SimDuration::from_millis(1_000),
@@ -96,6 +98,12 @@ pub struct VmscConfig {
     /// a restart. Off by default: the guards add timer events, so
     /// fault-free runs keep their historical event streams.
     pub resilience: bool,
+    /// Overload control: maximum pages broadcast per simulated second.
+    /// Excess pages are deferred to the next one-second window through a
+    /// bounded queue (twice the rate); overflow sheds the call with a
+    /// network-congestion release. `0` disables the throttle and keeps
+    /// the historical page-immediately behavior.
+    pub paging_rate_per_s: u32,
 }
 
 /// RAS registration guard state (resilience mode).
@@ -252,6 +260,16 @@ pub struct Vmsc {
     /// Guard-id → IMSI lookup for RAS guard timer tags.
     ras_guard_imsi: HashMap<u64, Imsi>,
     next_guard: u64,
+    /// Paging throttle: index of the one-second window pages were last
+    /// counted in (simulated milliseconds / 1000).
+    paging_window: u64,
+    /// Pages broadcast in the current window.
+    paging_sent_in_window: u32,
+    /// Calls whose page is deferred to a later window, with the time
+    /// each entered the queue (for the throttle-delay KPI).
+    paging_queue: std::collections::VecDeque<(CallId, SimTime)>,
+    /// The armed drain tick, if any.
+    paging_drain: Option<TimerToken>,
     /// Fault injection: while true (crashed or blackholed) the node
     /// silently drops every protocol message and timer.
     down: bool,
@@ -281,6 +299,10 @@ impl Vmsc {
             next_cic: 0,
             ras_guard_imsi: HashMap::new(),
             next_guard: 0,
+            paging_window: 0,
+            paging_sent_in_window: 0,
+            paging_queue: std::collections::VecDeque::new(),
+            paging_drain: None,
             down: false,
         }
     }
@@ -543,6 +565,113 @@ impl Vmsc {
         self.send_q931(ctx, call, Q931Kind::ReleaseComplete { cause });
         self.send_a_to_ms(ctx, &imsi, Dtap::Disconnect { call, cause });
         self.finish_call(ctx, call);
+    }
+
+    // ----------------------------------------------------------------
+    // Paging throttle (overload control)
+    // ----------------------------------------------------------------
+
+    /// Step 4.4: broadcast the page for an admitted MT call and start
+    /// the paging supervision timer.
+    fn page_ms(&mut self, ctx: &mut Context<'_, Message>, call: CallId, imsi: Imsi) {
+        if let Some(state) = self.calls.get_mut(&call) {
+            state.phase = CallPhase::MtPaging;
+            state.paged_at = Some(ctx.now());
+        }
+        ctx.set_timer(PAGING_TIMEOUT, (NS_PAGING << TAG_SHIFT) | call.0);
+        ctx.note("Step 4.4: page the MS");
+        ctx.count("vmsc.pages_sent");
+        // Page by TMSI when one is allocated: the IMSI
+        // should not hit the air interface (GSM 03.20).
+        let identity = self
+            .ms_table
+            .get(&imsi)
+            .and_then(|e| e.tmsi)
+            .map(MsIdentity::Tmsi)
+            .unwrap_or(MsIdentity::Imsi(imsi));
+        match identity {
+            MsIdentity::Tmsi(_) => ctx.count("vmsc.paged_by_tmsi"),
+            MsIdentity::Imsi(_) => ctx.count("vmsc.paged_by_imsi"),
+        }
+        for &bsc in &self.bscs.clone() {
+            ctx.send(
+                bsc,
+                Message::a(ConnRef::CONNECTIONLESS, Dtap::Paging { identity }),
+            );
+        }
+    }
+
+    /// Pages immediately while the current one-second window has budget,
+    /// defers behind the bounded queue otherwise, and sheds with a
+    /// network-congestion release once the queue is full. The queue gate
+    /// keeps deferral FIFO: new admissions never overtake a backlog.
+    fn page_or_defer(&mut self, ctx: &mut Context<'_, Message>, call: CallId, imsi: Imsi) {
+        let rate = self.config.paging_rate_per_s;
+        if rate == 0 {
+            self.page_ms(ctx, call, imsi);
+            return;
+        }
+        let window = ctx.now().as_millis() / 1_000;
+        if window != self.paging_window {
+            self.paging_window = window;
+            self.paging_sent_in_window = 0;
+        }
+        if self.paging_sent_in_window < rate && self.paging_queue.is_empty() {
+            self.paging_sent_in_window += 1;
+            self.page_ms(ctx, call, imsi);
+        } else if self.paging_queue.len() < 2 * rate as usize {
+            ctx.count("vmsc.pages_throttled");
+            self.paging_queue.push_back((call, ctx.now()));
+            self.arm_paging_drain(ctx);
+        } else {
+            ctx.count("vmsc.pages_shed");
+            self.send_q931(
+                ctx,
+                call,
+                Q931Kind::ReleaseComplete { cause: Cause::NetworkCongestion },
+            );
+            self.finish_call(ctx, call);
+        }
+    }
+
+    /// Arms the drain tick for the next one-second window boundary.
+    fn arm_paging_drain(&mut self, ctx: &mut Context<'_, Message>) {
+        if self.paging_drain.is_some() {
+            return;
+        }
+        let now_us = ctx.now().as_micros();
+        let delay = SimDuration::from_micros(1_000_000 - now_us % 1_000_000);
+        self.paging_drain = Some(ctx.set_timer(delay, NS_PAGING_DRAIN << TAG_SHIFT));
+    }
+
+    /// Drain tick: page up to one window's budget from the deferred
+    /// queue, oldest first, and re-arm while a backlog remains.
+    fn drain_paging_queue(&mut self, ctx: &mut Context<'_, Message>) {
+        self.paging_drain = None;
+        self.paging_window = ctx.now().as_millis() / 1_000;
+        self.paging_sent_in_window = 0;
+        let rate = self.config.paging_rate_per_s;
+        while self.paging_sent_in_window < rate {
+            let Some((call, queued_at)) = self.paging_queue.pop_front() else {
+                break;
+            };
+            let Some(state) = self.calls.get(&call) else {
+                continue; // call cleared while deferred
+            };
+            if state.phase != CallPhase::MtAdmission {
+                continue;
+            }
+            let imsi = state.imsi;
+            ctx.observe_duration(
+                "vmsc.paging_throttle_delay_ms",
+                ctx.now().duration_since(queued_at),
+            );
+            self.paging_sent_in_window += 1;
+            self.page_ms(ctx, call, imsi);
+        }
+        if !self.paging_queue.is_empty() {
+            self.arm_paging_drain(ctx);
+        }
     }
 
     fn send_q931(&self, ctx: &mut Context<'_, Message>, call: CallId, kind: Q931Kind) {
@@ -1518,40 +1647,36 @@ impl Vmsc {
                             }
                         }
                     }
-                    CallPhase::MtAdmission => {
-                        // Step 4.4: page the MS; give up if it never
-                        // answers (stale registration, coverage hole).
-                        if let Some(state) = self.calls.get_mut(&call) {
-                            state.phase = CallPhase::MtPaging;
-                            state.paged_at = Some(ctx.now());
-                        }
-                        ctx.set_timer(PAGING_TIMEOUT, (NS_PAGING << TAG_SHIFT) | call.0);
-                        ctx.note("Step 4.4: page the MS");
-                        ctx.count("vmsc.pages_sent");
-                        // Page by TMSI when one is allocated: the IMSI
-                        // should not hit the air interface (GSM 03.20).
-                        let identity = self
-                            .ms_table
-                            .get(&imsi)
-                            .and_then(|e| e.tmsi)
-                            .map(MsIdentity::Tmsi)
-                            .unwrap_or(MsIdentity::Imsi(imsi));
-                        match identity {
-                            MsIdentity::Tmsi(_) => ctx.count("vmsc.paged_by_tmsi"),
-                            MsIdentity::Imsi(_) => ctx.count("vmsc.paged_by_imsi"),
-                        }
-                        for &bsc in &self.bscs.clone() {
-                            ctx.send(
-                                bsc,
-                                Message::a(ConnRef::CONNECTIONLESS, Dtap::Paging { identity }),
-                            );
-                        }
-                    }
+                    CallPhase::MtAdmission => self.page_or_defer(ctx, call, imsi),
                     _ => {}
                 }
             }
             RasMessage::Arj { call, cause } => {
                 ctx.count("vmsc.admission_rejected");
+                if cause == Cause::NetworkCongestion && self.config.resilience {
+                    // Gatekeeper load shed. Leave the armed admission
+                    // guard in place for ONE deferred re-try (the first
+                    // backoff rung), so a brief shed degrades to added
+                    // setup delay instead of a failed call. Later rungs
+                    // would hold the call open for seconds into a still-
+                    // congested peak — the caller has long since given
+                    // up — so a shed of a retried admission releases
+                    // immediately and leaves re-attempting to the user.
+                    let retryable = self
+                        .calls
+                        .get(&call)
+                        .map(|s| {
+                            matches!(
+                                s.phase,
+                                CallPhase::MoAdmission | CallPhase::MtAdmission
+                            ) && s.arq_guard.as_ref().is_some_and(|g| g.attempts == 0)
+                        })
+                        .unwrap_or(false);
+                    if retryable {
+                        ctx.count("vmsc.admission_shed_deferred");
+                        return;
+                    }
+                }
                 if let Some(state) = self.calls.get_mut(&call) {
                     if let Some(guard) = state.arq_guard.take() {
                         ctx.cancel_timer(guard.token);
@@ -1835,6 +1960,11 @@ impl Node<Message> for Vmsc {
         // A crashed node's pending timers must not act; guard lookups
         // below additionally ignore anything the crash wiped out.
         if self.down {
+            if tag >> TAG_SHIFT == NS_PAGING_DRAIN {
+                // The tick is consumed even while down; forget the token
+                // so the throttle can re-arm after a restore.
+                self.paging_drain = None;
+            }
             return;
         }
         match tag >> TAG_SHIFT {
@@ -1860,6 +1990,7 @@ impl Node<Message> for Vmsc {
             NS_RAS => self.ras_guard_expired(ctx, tag & TAG_MASK),
             NS_ARQ => self.arq_guard_expired(ctx, CallId(tag & TAG_MASK)),
             NS_SETUP => self.setup_guard_expired(ctx, CallId(tag & TAG_MASK)),
+            NS_PAGING_DRAIN => self.drain_paging_queue(ctx),
             _ => {}
         }
     }
@@ -1887,6 +2018,11 @@ impl Node<Message> for Vmsc {
                 self.target_handoffs.clear();
                 self.awaiting_context.clear();
                 self.ras_guard_imsi.clear();
+                self.paging_queue.clear();
+                self.paging_sent_in_window = 0;
+                if let Some(token) = self.paging_drain.take() {
+                    ctx.cancel_timer(token);
+                }
                 self.down = true;
                 ctx.count("vmsc.crashes");
             }

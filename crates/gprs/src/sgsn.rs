@@ -5,13 +5,28 @@
 //! GTP tunnels to the GGSN over Gn, and checks subscribers against the
 //! HLR over Gr.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use vgprs_sim::{Context, Interface, Node, NodeId};
+use vgprs_sim::{Context, Interface, Node, NodeId, SimDuration, SimTime, TimerToken};
 use vgprs_wire::{
     Cause, Command, GmmMessage, GtpMessage, Imsi, IpPacket, Ipv4Addr, MapMessage, Message,
     Nsapi, PointCode, QosProfile, Teid, Tmsi,
 };
+
+/// Timer tag of the admission-queue drain tick (the SGSN's only timer).
+const ADMISSION_DRAIN_TAG: u64 = 1;
+
+/// A PDP activation deferred by the admission control, with everything
+/// needed to replay it and the time it entered the queue.
+#[derive(Debug)]
+struct PendingActivation {
+    endpoint: NodeId,
+    imsi: Imsi,
+    nsapi: Nsapi,
+    qos: QosProfile,
+    static_addr: Option<Ipv4Addr>,
+    queued_at: SimTime,
+}
 
 /// Mobility-management context of one attached endpoint.
 #[derive(Debug)]
@@ -43,6 +58,17 @@ pub struct Sgsn {
     teid_index: HashMap<Teid, (Imsi, Nsapi)>,
     next_teid: u32,
     next_ptmsi: u32,
+    /// Overload control: PDP activations admitted per simulated second
+    /// (`0` = unlimited, the historical behavior).
+    admission_rate_per_s: u32,
+    /// Index of the one-second window activations were last counted in.
+    admission_window: u64,
+    /// Activations admitted in the current window.
+    admission_in_window: u32,
+    /// Activations deferred to a later window (bounded, FIFO).
+    admission_queue: VecDeque<PendingActivation>,
+    /// The armed drain tick, if any.
+    admission_drain: Option<TimerToken>,
     /// Fault injection: while true (crashed or blackholed) the node
     /// silently drops every protocol message.
     down: bool,
@@ -60,6 +86,11 @@ impl Sgsn {
             teid_index: HashMap::new(),
             next_teid: 0,
             next_ptmsi: 0,
+            admission_rate_per_s: 0,
+            admission_window: 0,
+            admission_in_window: 0,
+            admission_queue: VecDeque::new(),
+            admission_drain: None,
             down: false,
         }
     }
@@ -68,6 +99,15 @@ impl Sgsn {
     /// Without an HLR every attach is accepted (closed testbed).
     pub fn set_hlr(&mut self, hlr: NodeId) {
         self.hlr = Some(hlr);
+    }
+
+    /// Enables PDP admission control: at most `rate` activations proceed
+    /// per simulated second; excess requests wait in a bounded queue
+    /// (twice the rate) for the next window, and overflow is rejected
+    /// with a network-congestion cause. `0` disables the control.
+    pub fn with_admission_rate(mut self, rate: u32) -> Self {
+        self.admission_rate_per_s = rate;
+        self
     }
 
     /// Number of attached subscribers.
@@ -140,41 +180,7 @@ impl Sgsn {
                 nsapi,
                 qos,
                 static_addr,
-            } => {
-                if !self.mm.contains_key(&imsi) {
-                    ctx.count("sgsn.activation_not_attached");
-                    ctx.send(
-                        from,
-                        Message::Gmm(GmmMessage::ActivatePdpContextReject {
-                            imsi,
-                            nsapi,
-                            cause: Cause::SubscriberAbsent,
-                        }),
-                    );
-                    return;
-                }
-                let sgsn_teid = self.alloc_teid();
-                self.pdp.insert(
-                    (imsi, nsapi),
-                    SgsnPdp {
-                        sgsn_teid,
-                        ggsn_teid: None,
-                        addr: None,
-                        qos,
-                    },
-                );
-                self.teid_index.insert(sgsn_teid, (imsi, nsapi));
-                ctx.send(
-                    self.ggsn,
-                    Message::Gtp(GtpMessage::CreatePdpRequest {
-                        imsi,
-                        nsapi,
-                        qos,
-                        static_addr,
-                        sgsn_teid,
-                    }),
-                );
-            }
+            } => self.admit_or_defer(ctx, from, imsi, nsapi, qos, static_addr),
             GmmMessage::DeactivatePdpContextRequest { imsi, nsapi } => {
                 self.remove_pdp(ctx, imsi, nsapi);
                 if let Some(mm) = self.mm.get(&imsi) {
@@ -187,6 +193,132 @@ impl Sgsn {
             _ => ctx.count("sgsn.unhandled_gmm"),
         }
         let _ = from;
+    }
+
+    /// Runs PDP admission control in front of [`Self::activate_pdp`]:
+    /// admit inside the window budget, defer behind the bounded queue,
+    /// or reject with a network-congestion cause on overflow. A rate of
+    /// `0` admits everything immediately (historical behavior).
+    fn admit_or_defer(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        imsi: Imsi,
+        nsapi: Nsapi,
+        qos: QosProfile,
+        static_addr: Option<Ipv4Addr>,
+    ) {
+        let rate = self.admission_rate_per_s;
+        // Low-precedence signaling contexts (one per subscriber, set up
+        // at registration) ride through: the control targets the
+        // per-call conversational activations that spike under load.
+        if rate == 0 || qos.precedence == vgprs_wire::Precedence::Low {
+            self.activate_pdp(ctx, from, imsi, nsapi, qos, static_addr);
+            return;
+        }
+        let window = ctx.now().as_millis() / 1_000;
+        if window != self.admission_window {
+            self.admission_window = window;
+            self.admission_in_window = 0;
+        }
+        if self.admission_in_window < rate && self.admission_queue.is_empty() {
+            self.admission_in_window += 1;
+            self.activate_pdp(ctx, from, imsi, nsapi, qos, static_addr);
+        } else if self.admission_queue.len() < 2 * rate as usize {
+            ctx.count("sgsn.pdp_admission_deferred");
+            self.admission_queue.push_back(PendingActivation {
+                endpoint: from,
+                imsi,
+                nsapi,
+                qos,
+                static_addr,
+                queued_at: ctx.now(),
+            });
+            if self.admission_drain.is_none() {
+                let delay =
+                    SimDuration::from_micros(1_000_000 - ctx.now().as_micros() % 1_000_000);
+                self.admission_drain = Some(ctx.set_timer(delay, ADMISSION_DRAIN_TAG));
+            }
+        } else {
+            ctx.count("sgsn.pdp_admission_rejected");
+            ctx.send(
+                from,
+                Message::Gmm(GmmMessage::ActivatePdpContextReject {
+                    imsi,
+                    nsapi,
+                    cause: Cause::NetworkCongestion,
+                }),
+            );
+        }
+    }
+
+    /// Drain tick: admit up to one window's budget from the deferred
+    /// queue, oldest first, and re-arm while a backlog remains.
+    fn drain_admission_queue(&mut self, ctx: &mut Context<'_, Message>) {
+        self.admission_drain = None;
+        self.admission_window = ctx.now().as_millis() / 1_000;
+        self.admission_in_window = 0;
+        while self.admission_in_window < self.admission_rate_per_s {
+            let Some(p) = self.admission_queue.pop_front() else {
+                break;
+            };
+            ctx.observe_duration(
+                "sgsn.pdp_admission_delay_ms",
+                ctx.now().duration_since(p.queued_at),
+            );
+            self.admission_in_window += 1;
+            self.activate_pdp(ctx, p.endpoint, p.imsi, p.nsapi, p.qos, p.static_addr);
+        }
+        if !self.admission_queue.is_empty() && self.admission_drain.is_none() {
+            let delay = SimDuration::from_micros(1_000_000 - ctx.now().as_micros() % 1_000_000);
+            self.admission_drain = Some(ctx.set_timer(delay, ADMISSION_DRAIN_TAG));
+        }
+    }
+
+    /// The activation proper: attach check, tunnel allocation, GTP
+    /// create toward the GGSN.
+    fn activate_pdp(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        imsi: Imsi,
+        nsapi: Nsapi,
+        qos: QosProfile,
+        static_addr: Option<Ipv4Addr>,
+    ) {
+        if !self.mm.contains_key(&imsi) {
+            ctx.count("sgsn.activation_not_attached");
+            ctx.send(
+                from,
+                Message::Gmm(GmmMessage::ActivatePdpContextReject {
+                    imsi,
+                    nsapi,
+                    cause: Cause::SubscriberAbsent,
+                }),
+            );
+            return;
+        }
+        let sgsn_teid = self.alloc_teid();
+        self.pdp.insert(
+            (imsi, nsapi),
+            SgsnPdp {
+                sgsn_teid,
+                ggsn_teid: None,
+                addr: None,
+                qos,
+            },
+        );
+        self.teid_index.insert(sgsn_teid, (imsi, nsapi));
+        ctx.send(
+            self.ggsn,
+            Message::Gtp(GtpMessage::CreatePdpRequest {
+                imsi,
+                nsapi,
+                qos,
+                static_addr,
+                sgsn_teid,
+            }),
+        );
     }
 
     fn remove_pdp(&mut self, ctx: &mut Context<'_, Message>, imsi: Imsi, nsapi: Nsapi) {
@@ -321,6 +453,20 @@ impl Sgsn {
 }
 
 impl Node<Message> for Sgsn {
+    fn on_timer(&mut self, ctx: &mut Context<'_, Message>, _token: TimerToken, tag: u64) {
+        if self.down {
+            if tag == ADMISSION_DRAIN_TAG {
+                // The tick is consumed even while down; forget the token
+                // so the control can re-arm after a restore.
+                self.admission_drain = None;
+            }
+            return;
+        }
+        if tag == ADMISSION_DRAIN_TAG {
+            self.drain_admission_queue(ctx);
+        }
+    }
+
     fn on_message(
         &mut self,
         ctx: &mut Context<'_, Message>,
@@ -335,6 +481,11 @@ impl Node<Message> for Sgsn {
                 self.mm.clear();
                 self.pdp.clear();
                 self.teid_index.clear();
+                self.admission_queue.clear();
+                self.admission_in_window = 0;
+                if let Some(token) = self.admission_drain.take() {
+                    ctx.cancel_timer(token);
+                }
                 self.down = true;
                 ctx.count("sgsn.crashes");
             }

@@ -34,6 +34,12 @@ pub struct GatekeeperConfig {
     /// Total admissible bandwidth in units of 100 bit/s (H.225
     /// convention). 16 kbit/s per GSM voice call ⇒ 160 units per call.
     pub bandwidth_budget: u32,
+    /// Overload control: new admissions that would push bandwidth
+    /// utilization above this fraction of the budget are shed with an
+    /// ARJ carrying a *congestion* cause — retryable through the VMSC's
+    /// bounded ARQ backoff, unlike a hard budget rejection. `0.0`
+    /// disables shedding (the historical behavior).
+    pub shed_utilization: f64,
 }
 
 /// The gatekeeper node.
@@ -133,6 +139,28 @@ impl Gatekeeper {
                 answering,
                 bandwidth,
             } => {
+                // Overload control: load-shed new admissions once
+                // utilization crosses the threshold. The congestion
+                // cause tells the VMSC's ARQ ladder to retry with
+                // backoff rather than release. Answering ARQs are
+                // exempt — the far end already committed the call, and
+                // rejecting the answer would waste the admitted leg.
+                if self.config.shed_utilization > 0.0 && !answering {
+                    let projected = (self.bandwidth_used + bandwidth) as f64
+                        / self.config.bandwidth_budget.max(1) as f64;
+                    if projected > self.config.shed_utilization {
+                        ctx.count("gk.admission_shed");
+                        self.reply(
+                            ctx,
+                            src,
+                            RasMessage::Arj {
+                                call,
+                                cause: Cause::NetworkCongestion,
+                            },
+                        );
+                        return;
+                    }
+                }
                 if self.bandwidth_used + bandwidth > self.config.bandwidth_budget {
                     ctx.count("gk.admission_rejected_bandwidth");
                     self.reply(
@@ -339,6 +367,7 @@ mod tests {
                 GatekeeperConfig {
                     addr: gk_addr(),
                     bandwidth_budget: 480, // three 160-unit calls
+                    shed_utilization: 0.0,
                 },
                 router,
             ),

@@ -494,6 +494,7 @@ mod tests {
                 GatekeeperConfig {
                     addr: addr(2, 1719),
                     bandwidth_budget: 10_000,
+                    shed_utilization: 0.0,
                 },
                 router,
             ),

@@ -17,10 +17,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use vgprs_faults::FaultPlanConfig;
+use vgprs_scenario::{compile_demand, OverloadControls, ScenarioConfig};
 use vgprs_sim::Kernel;
 
 use crate::mailbox::{Flit, HlrDirectory, Mailbox};
-use crate::population::{subscriber_plan, PopulationConfig, SubscriberPlan};
+use crate::population::{subscriber_plan_demand, PopulationConfig, SubscriberPlan};
 use crate::report::LoadReport;
 use crate::shard::{Shard, ShardConfig, ShardReport};
 
@@ -62,6 +63,15 @@ pub struct LoadConfig {
     /// compiles to empty plans, and the run is byte-identical to one
     /// without the fault machinery.
     pub faults: FaultPlanConfig,
+    /// Demand scenario: a daily-profile rate curve plus flash-crowd
+    /// shocks, compiled per shard into time-varying arrival plans. The
+    /// flat default compiles to empty plans and the run is
+    /// byte-identical to one without the scenario machinery.
+    pub scenario: ScenarioConfig,
+    /// Overload controls (paging throttle, gatekeeper ARJ shedding,
+    /// SGSN PDP admission control). All-off by default, which keeps
+    /// every node on its historical code path.
+    pub controls: OverloadControls,
 }
 
 impl Default for LoadConfig {
@@ -78,6 +88,8 @@ impl Default for LoadConfig {
             voice_sample_ms: 1_000,
             kernel: Kernel::default(),
             faults: FaultPlanConfig::default(),
+            scenario: ScenarioConfig::default(),
+            controls: OverloadControls::default(),
         }
     }
 }
@@ -164,6 +176,8 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             voice_sample_ms: cfg.voice_sample_ms,
             kernel: cfg.kernel,
             faults: cfg.faults,
+            scenario: cfg.scenario.clone(),
+            controls: cfg.controls,
         })
         .collect();
 
@@ -178,8 +192,16 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
         let Some(shard_cfg) = shard_cfgs.get(index) else {
             break;
         };
+        let demand = compile_demand(
+            &cfg.scenario,
+            cfg.seed,
+            shard_cfg.shard_index,
+            cfg.population.window_secs,
+        );
         let plans: Vec<SubscriberPlan> = (0..shard_cfg.subscribers)
-            .map(|i| subscriber_plan(&cfg.population, cfg.seed, shard_cfg.base_index + i))
+            .map(|i| {
+                subscriber_plan_demand(&cfg.population, &demand, cfg.seed, shard_cfg.base_index + i)
+            })
             .collect();
         *slots[index].lock().expect("no panics while holding the lock") = Some(EpochSlot {
             shard: Shard::new(shard_cfg, &plans),

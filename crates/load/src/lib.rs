@@ -52,10 +52,14 @@ pub use mailbox::{
     Envelope, Flit, HlrDirectory, Mailbox, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS,
 };
 pub use population::{
-    subscriber_plan, Arrival, CallKind, CallMix, Excursion, PopulationConfig, SubscriberPlan,
+    subscriber_plan, subscriber_plan_demand, Arrival, CallKind, CallMix, Excursion,
+    PopulationConfig, SubscriberPlan,
 };
 pub use report::LoadReport;
 pub use shard::{run_shard, Shard, ShardConfig, ShardReport};
-// Re-exported so load-engine callers can configure fault plans without
-// naming the faults crate themselves.
+// Re-exported so load-engine callers can configure fault plans and
+// demand scenarios without naming those crates themselves.
 pub use vgprs_faults::{FaultClass, FaultPlanConfig};
+pub use vgprs_scenario::{
+    compile_demand, DemandPlan, FlashCrowd, OverloadControls, ScenarioConfig,
+};

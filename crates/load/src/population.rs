@@ -7,12 +7,16 @@
 //! whether the run uses 1 shard or 400, which is what makes sharded
 //! results reproducible and comparable across machine sizes.
 
+use vgprs_scenario::DemandPlan;
 use vgprs_sim::SimRng;
 
 /// Stream-class salts for [`SimRng::derive`]; distinct odd constants so
-/// the call and mobility streams of one subscriber never collide.
+/// the call, mobility and crowd-drift streams of one subscriber never
+/// collide (nor collide with the scenario compiler's per-shard jitter
+/// stream).
 const STREAM_CALLS: u64 = 0x9E37_79B9_7F4A_7C15;
 const STREAM_MOBILITY: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const STREAM_CROWD: u64 = 0xB10C_7A27_5EED_CA11;
 
 /// What a call attempt looks like from the traffic generator's side.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,7 +104,7 @@ impl Default for PopulationConfig {
 }
 
 /// One scheduled call attempt.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Arrival {
     /// Offset into the window, in milliseconds.
     pub at_ms: u64,
@@ -114,7 +118,7 @@ pub struct Arrival {
 }
 
 /// One round trip to the neighboring location area and back.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Excursion {
     /// When the subscriber re-camps on the neighbor cell, ms.
     pub out_ms: u64,
@@ -124,10 +128,14 @@ pub struct Excursion {
     /// the raw draw onto a destination shard index (the plan itself must
     /// stay independent of shard topology).
     pub cross_shard: Option<u64>,
+    /// True for a flash-crowd drift trip: `cross_shard` then already
+    /// holds the destination *epicenter* shard index (the crowd spec
+    /// names its epicenter, so no topology-dependent mapping is needed).
+    pub drift: bool,
 }
 
 /// Everything one subscriber will do during the window.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SubscriberPlan {
     /// Position in the whole population (not the shard).
     pub global_index: usize,
@@ -169,6 +177,23 @@ pub fn subscriber_plan(
         }
     }
 
+    SubscriberPlan {
+        global_index,
+        arrivals,
+        excursion: mobility_excursion(cfg, master_seed, global_index),
+    }
+}
+
+/// The mobility half of a subscriber's plan, shared verbatim by the
+/// flat and demand-shaped generators so a demand curve can never
+/// perturb anyone's idle-mode travel.
+fn mobility_excursion(
+    cfg: &PopulationConfig,
+    master_seed: u64,
+    global_index: usize,
+) -> Option<Excursion> {
+    let g = global_index as u64;
+    let window = cfg.window_secs as f64;
     let mut mobility = SimRng::derive(master_seed, STREAM_MOBILITY.wrapping_add(g));
     let excursion = if mobility.chance(cfg.mobility_fraction) {
         let out = mobility.uniform() * window * 0.7;
@@ -177,11 +202,12 @@ pub fn subscriber_plan(
             out_ms: (out * 1000.0) as u64,
             back_ms: ((out + stay) * 1000.0) as u64,
             cross_shard: None,
+            drift: false,
         })
     } else {
         None
     };
-    let excursion = if cfg.cross_shard_fraction > 0.0 && mobility.chance(cfg.cross_shard_fraction) {
+    if cfg.cross_shard_fraction > 0.0 && mobility.chance(cfg.cross_shard_fraction) {
         let draw = mobility.next_u64();
         match excursion {
             Some(e) => Some(Excursion {
@@ -195,12 +221,93 @@ pub fn subscriber_plan(
                     out_ms: (out * 1000.0) as u64,
                     back_ms: ((out + stay) * 1000.0) as u64,
                     cross_shard: Some(draw),
+                    drift: false,
                 })
             }
         }
     } else {
         excursion
-    };
+    }
+}
+
+/// Generates one subscriber's plan under a compiled [`DemandPlan`].
+///
+/// A flat plan delegates to [`subscriber_plan`] untouched — not even an
+/// accept draw is spent — so a zero-shock scenario is byte-identical to
+/// a run without the scenario machinery. A shaped plan drives the
+/// time-varying arrival rate by **thinning**: candidates are generated
+/// as a homogeneous Poisson stream at the plan's envelope rate, and
+/// each is kept with probability `multiplier(t) / envelope`, which
+/// yields the exact inhomogeneous process while staying a pure function
+/// of `(cfg, demand, master_seed, global_index)`.
+///
+/// Crowd drift rides a third RNG stream: each [`DriftWindow`] in the
+/// plan recruits this subscriber with its window's probability, and a
+/// recruit travels to an epicenter shard for the crowd's duration. The
+/// draws happen unconditionally per window so one window's outcome
+/// never perturbs another's.
+///
+/// [`DriftWindow`]: vgprs_scenario::DriftWindow
+pub fn subscriber_plan_demand(
+    cfg: &PopulationConfig,
+    demand: &DemandPlan,
+    master_seed: u64,
+    global_index: usize,
+) -> SubscriberPlan {
+    if demand.is_flat() {
+        return subscriber_plan(cfg, master_seed, global_index);
+    }
+    let g = global_index as u64;
+    let mut calls = SimRng::derive(master_seed, STREAM_CALLS.wrapping_add(g));
+    let window = cfg.window_secs as f64;
+    let envelope = demand.envelope();
+
+    let mut arrivals = Vec::new();
+    if cfg.calls_per_sub_hour > 0.0 {
+        let mean_gap = 3600.0 / (cfg.calls_per_sub_hour * envelope);
+        let extra_hold = (cfg.mean_hold_secs - cfg.min_hold_secs).max(0.1);
+        let mut t = calls.exponential(mean_gap);
+        while t < window {
+            let at_ms = (t * 1000.0) as u64;
+            if calls.chance(demand.multiplier_at_ms(at_ms) / envelope) {
+                let kind = cfg.mix.pick(calls.uniform());
+                let hold = cfg.min_hold_secs + calls.exponential(extra_hold);
+                arrivals.push(Arrival {
+                    at_ms,
+                    kind,
+                    hold_ms: (hold * 1000.0) as u64,
+                    peer_draw: calls.next_u64(),
+                });
+            }
+            t += calls.exponential(mean_gap);
+        }
+    }
+
+    let mut excursion = mobility_excursion(cfg, master_seed, global_index);
+
+    let mut drift_rng = SimRng::derive(master_seed, STREAM_CROWD.wrapping_add(g));
+    for w in &demand.drift {
+        // Unconditional draws per window, in a fixed order.
+        let recruited = drift_rng.chance(w.fraction);
+        let target_draw = drift_rng.next_u64();
+        let out_jitter = drift_rng.next_u64();
+        let back_jitter = drift_rng.next_u64();
+        if !recruited || excursion.is_some_and(|e| e.drift) || w.epicenter_shards == 0 {
+            continue;
+        }
+        // Stagger departures over the crowd's first quarter and returns
+        // over a few seconds so the location-update storm ramps the way
+        // a real crowd builds, instead of arriving in one event burst.
+        let span = w.back_ms.saturating_sub(w.out_ms).max(1);
+        let out_ms = w.out_ms + out_jitter % (span / 4).max(1);
+        let back_ms = (w.back_ms + back_jitter % 5_000).max(out_ms + 1);
+        excursion = Some(Excursion {
+            out_ms,
+            back_ms,
+            cross_shard: Some(target_draw % w.epicenter_shards),
+            drift: true,
+        });
+    }
 
     SubscriberPlan {
         global_index,

@@ -178,6 +178,72 @@ impl LoadReport {
         ])
     }
 
+    /// Pages the VMSC throttle deferred to a later one-second window.
+    pub fn pages_throttled(&self) -> u64 {
+        self.counter("vmsc.pages_throttled")
+    }
+
+    /// MT calls the paging throttle shed (queue overflow) with a
+    /// network-congestion release.
+    pub fn pages_shed(&self) -> u64 {
+        self.counter("vmsc.pages_shed")
+    }
+
+    /// Admissions the gatekeeper shed with a congestion ARJ.
+    pub fn gk_admission_shed(&self) -> u64 {
+        self.counter("gk.admission_shed")
+    }
+
+    /// Congestion ARJs the VMSC absorbed into the ARQ retry ladder
+    /// instead of clearing the call.
+    pub fn gk_shed_deferred(&self) -> u64 {
+        self.counter("vmsc.admission_shed_deferred")
+    }
+
+    /// PDP activations the SGSN admission control deferred.
+    pub fn pdp_deferred(&self) -> u64 {
+        self.counter("sgsn.pdp_admission_deferred")
+    }
+
+    /// PDP activations the SGSN admission control rejected outright
+    /// (queue overflow, network-congestion cause).
+    pub fn pdp_rejected(&self) -> u64 {
+        self.counter("sgsn.pdp_admission_rejected")
+    }
+
+    /// Added delay the overload controls imposed on admitted work:
+    /// paging-throttle deferral plus SGSN admission queueing.
+    pub fn admission_delay(&self) -> Histogram {
+        self.merged_histogram(&[
+            "vmsc.paging_throttle_delay_ms",
+            "sgsn.pdp_admission_delay_ms",
+        ])
+    }
+
+    /// Call attempts issued while the demand plan was in a peak segment
+    /// (above [`vgprs_scenario::PEAK_ATTRIBUTION_THRESHOLD`]); zero on a
+    /// flat-demand run.
+    pub fn attempts_peak(&self) -> u64 {
+        self.counter("load.attempts_peak")
+    }
+
+    /// Call attempts issued under steady-state (non-peak) demand; zero
+    /// on a flat-demand run, where attribution is off entirely.
+    pub fn attempts_steady(&self) -> u64 {
+        self.counter("load.attempts_steady")
+    }
+
+    /// Fraction of peak-segment attempts later probed dead (blocking,
+    /// sheds, rejects — everything the redial machinery sees).
+    pub fn peak_drop_rate(&self) -> f64 {
+        ratio(self.counter("load.dropped_peak"), self.attempts_peak())
+    }
+
+    /// Fraction of steady-state attempts later probed dead.
+    pub fn steady_drop_rate(&self) -> f64 {
+        ratio(self.counter("load.dropped_steady"), self.attempts_steady())
+    }
+
     fn merged_histogram(&self, names: &[&str]) -> Histogram {
         let mut out = Histogram::new();
         for n in names {
@@ -362,6 +428,31 @@ impl LoadReport {
             self.redial_attempts(),
             self.counter("load.redials_exhausted")
         ));
+        // Overload block: also rendered unconditionally (all zeros with
+        // the controls off and a flat demand plan).
+        line(format!(
+            "overload sheds        : {} pages throttled, {} pages shed, {} GK ARJ ({} deferred to retry)",
+            self.pages_throttled(),
+            self.pages_shed(),
+            self.gk_admission_shed(),
+            self.gk_shed_deferred()
+        ));
+        let admission = self.admission_delay();
+        line(format!(
+            "PDP admission         : {} deferred, {} rejected; delay p50 {:.1} ms, p99 {:.1} ms (n={})",
+            self.pdp_deferred(),
+            self.pdp_rejected(),
+            admission.percentile(50.0),
+            admission.percentile(99.0),
+            admission.count()
+        ));
+        line(format!(
+            "surge drop rate       : peak {:.3}% ({} attempts), steady {:.3}% ({} attempts)",
+            self.peak_drop_rate() * 100.0,
+            self.attempts_peak(),
+            self.steady_drop_rate() * 100.0,
+            self.attempts_steady()
+        ));
         line(format!(
             "events                : {} over {:.1} simulated s",
             self.events, self.sim_secs
@@ -500,6 +591,47 @@ impl LoadReport {
             ));
         }
         out.push_str("}\n");
+        out.push_str("    },\n");
+        out.push_str("    \"overload\": {\n");
+        out.push_str(&format!(
+            "      \"pages_throttled\": {},\n",
+            self.pages_throttled()
+        ));
+        out.push_str(&format!("      \"pages_shed\": {},\n", self.pages_shed()));
+        out.push_str(&format!(
+            "      \"gk_admission_shed\": {},\n",
+            self.gk_admission_shed()
+        ));
+        out.push_str(&format!(
+            "      \"gk_shed_deferred\": {},\n",
+            self.gk_shed_deferred()
+        ));
+        out.push_str(&format!("      \"pdp_deferred\": {},\n", self.pdp_deferred()));
+        out.push_str(&format!("      \"pdp_rejected\": {},\n", self.pdp_rejected()));
+        let admission = self.admission_delay();
+        out.push_str(&format!(
+            "      \"admission_delay_ms\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}},\n",
+            admission.count(),
+            json_f64(admission.mean()),
+            json_f64(admission.percentile(50.0)),
+            json_f64(admission.percentile(99.0))
+        ));
+        out.push_str(&format!(
+            "      \"attempts_peak\": {},\n",
+            self.attempts_peak()
+        ));
+        out.push_str(&format!(
+            "      \"attempts_steady\": {},\n",
+            self.attempts_steady()
+        ));
+        out.push_str(&format!(
+            "      \"peak_drop_rate\": {},\n",
+            json_f64(self.peak_drop_rate())
+        ));
+        out.push_str(&format!(
+            "      \"steady_drop_rate\": {}\n",
+            json_f64(self.steady_drop_rate())
+        ));
         out.push_str("    }\n");
         out.push_str("  },\n");
         out.push_str("  \"counters\": {");

@@ -27,6 +27,7 @@ use vgprs_faults::{
     compile_plan, FaultClass, FaultKind, FaultPlan, FaultPlanConfig, LinkSel, NodeSel,
 };
 use vgprs_gsm::{Bts, Hlr, MobileStation, MsState, Vlr};
+use vgprs_scenario::{compile_demand, DemandPlan, OverloadControls, ScenarioConfig};
 use vgprs_sim::{
     CalendarWheel, Interface, Kernel, LinkQuality, Network, NodeId, SimDuration, SimRng, SimTime,
     Stats,
@@ -123,6 +124,14 @@ pub struct ShardConfig {
     /// compiles to an empty plan and leaves the shard byte-identical to
     /// a fault-free build of the same configuration.
     pub faults: FaultPlanConfig,
+    /// Demand scenario; the flat default compiles to an empty demand
+    /// plan and leaves the shard byte-identical to a scenario-free
+    /// build of the same configuration.
+    pub scenario: ScenarioConfig,
+    /// Overload-control knobs threaded into the shard's serving-area
+    /// nodes (VMSC paging throttle, gatekeeper ARJ shedding, SGSN PDP
+    /// admission control). All-off by default.
+    pub controls: OverloadControls,
 }
 
 /// What one shard hands back for merging.
@@ -262,6 +271,8 @@ pub struct Shard {
     gn_quality: LinkQuality,
     /// The compiled fault schedule this shard replays.
     plan: FaultPlan,
+    /// The compiled demand curve, kept for peak-vs-steady attribution.
+    demand: DemandPlan,
     trunk_gate: NodeId,
     radio_gate: NodeId,
     subs: Vec<Subscriber>,
@@ -308,7 +319,20 @@ impl Shard {
             cfg.shard_index,
             cfg.population.window_secs,
         );
-        let resilience = !plan.is_empty();
+        // The demand curve is recompiled here (the engine already
+        // compiled it to generate the subscriber plans — the function is
+        // pure and cheap) for peak-vs-steady KPI attribution and drift
+        // target resolution.
+        let demand = compile_demand(
+            &cfg.scenario,
+            cfg.master_seed,
+            cfg.shard_index,
+            cfg.population.window_secs,
+        );
+        // Recovery/overload machinery arms only when something can hurt:
+        // a fault plan, or an enabled overload control (whose retry
+        // composition rides the same resilience guards).
+        let resilience = !plan.is_empty() || cfg.controls.enabled();
 
         // Home serving area plus a neighbor for mobility. Shards are
         // separate networks, so every shard can reuse the same addressing.
@@ -320,6 +344,9 @@ impl Shard {
                 pdch_bps: cfg.pdch_bps,
                 gk_bandwidth: cfg.gk_bandwidth,
                 resilience,
+                paging_rate_per_s: cfg.controls.paging_rate_per_s,
+                gk_shed_utilization: cfg.controls.gk_shed_utilization,
+                pdp_rate_per_s: cfg.controls.pdp_rate_per_s,
                 ..VgprsZoneConfig::taiwan()
             },
         );
@@ -336,6 +363,9 @@ impl Shard {
                 pdch_bps: cfg.pdch_bps,
                 gk_bandwidth: cfg.gk_bandwidth,
                 resilience,
+                paging_rate_per_s: cfg.controls.paging_rate_per_s,
+                gk_shed_utilization: cfg.controls.gk_shed_utilization,
+                pdp_rate_per_s: cfg.controls.pdp_rate_per_s,
                 ..VgprsZoneConfig::taiwan()
             },
         );
@@ -383,18 +413,24 @@ impl Shard {
                 msisdn,
             );
             let terminal = home.add_terminal(&mut net, &format!("t{g}"), alias);
-            let cross_draw = plan
+            let cross_target = plan
                 .excursion
-                .and_then(|e| e.cross_shard)
-                .filter(|_| cfg.total_shards > 1);
-            let cross_target = cross_draw.map(|draw| {
-                let d = (draw % (cfg.total_shards as u64 - 1)) as usize;
-                if d >= cfg.shard_index {
-                    d + 1
-                } else {
-                    d
-                }
-            });
+                .filter(|_| cfg.total_shards > 1)
+                .and_then(|e| {
+                    let draw = e.cross_shard?;
+                    if e.drift {
+                        // Crowd drift: the draw already names the
+                        // destination epicenter shard (population takes
+                        // it modulo the crowd's epicenter count).
+                        let t = draw as usize;
+                        (t < cfg.total_shards && t != cfg.shard_index).then_some(t)
+                    } else {
+                        // Ordinary trip: map the raw draw onto any other
+                        // shard, skipping ourselves.
+                        let d = (draw % (cfg.total_shards as u64 - 1)) as usize;
+                        Some(if d >= cfg.shard_index { d + 1 } else { d })
+                    }
+                });
             if cross_target.is_some() {
                 // Cross-shard movers camp on the border cell while away.
                 net.connect(ms, radio_gate, Interface::Um, home.latency.um);
@@ -465,6 +501,7 @@ impl Shard {
             gb_quality,
             gn_quality,
             plan,
+            demand,
             trunk_gate,
             radio_gate,
             subs,
@@ -718,6 +755,14 @@ impl Shard {
         // The far party as seen from the subscriber's handset (for MT
         // calls the originating terminal, not the handset itself).
         self.subs[local].current_peer = Some(if orig == self.subs[local].ms { peer } else { orig });
+        if !self.demand.is_flat() {
+            // Attribute the dialed attempt to the shock's peak or the
+            // steady state so blocking can be reported for each regime.
+            // Counted here, past the away/busy skips, so the regime
+            // denominators cover exactly the calls the drop probe sees.
+            let regime = if self.demand.in_peak(at_us / 1000) { "peak" } else { "steady" };
+            self.net.stats_mut().count(&format!("load.attempts_{regime}"));
+        }
         let call = CallId((self.cfg.base_index as u64) << 32 | self.next_call);
         self.next_call += 1;
         self.net.inject(
@@ -808,6 +853,10 @@ impl Shard {
             .find(|&c| self.plan.overlaps(c, dialed_ms, now_ms));
         let key = class.map_or("baseline", FaultClass::key);
         self.net.stats_mut().count(&format!("load.dropped_{key}"));
+        if !self.demand.is_flat() {
+            let regime = if self.demand.in_peak(dialed_ms) { "peak" } else { "steady" };
+            self.net.stats_mut().count(&format!("load.dropped_{regime}"));
+        }
         // Free both parties and invalidate the dead call's remaining
         // scheduled actions.
         self.subs[local].gen = self.subs[local].gen.wrapping_add(1);

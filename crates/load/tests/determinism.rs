@@ -2,8 +2,10 @@
 //! configuration and the master seed, never of the machine.
 
 use vgprs_load::{
-    partition, run_load, subscriber_plan, CallMix, FaultPlanConfig, LoadConfig, PopulationConfig,
+    partition, run_load, subscriber_plan, subscriber_plan_demand, CallMix, DemandPlan,
+    FaultPlanConfig, LoadConfig, OverloadControls, PopulationConfig, ScenarioConfig,
 };
+use vgprs_sim::Kernel;
 
 fn small_cfg(threads: usize) -> LoadConfig {
     LoadConfig {
@@ -288,4 +290,111 @@ fn kpis_are_populated() {
     assert!((1.0..=4.6).contains(&mos), "implausible MOS {mos}");
     assert!(r.stats.counter("load.moves") > 0, "mobility never fired");
     assert!(r.events > 0 && r.sim_secs > 0.0);
+}
+
+// ---- demand plans and overload controls ----
+
+fn surge_cfg(threads: usize) -> LoadConfig {
+    LoadConfig {
+        threads,
+        scenario: ScenarioConfig::flash(10.0),
+        controls: OverloadControls {
+            paging_rate_per_s: 2,
+            gk_shed_utilization: 0.5,
+            pdp_rate_per_s: 2,
+        },
+        gk_bandwidth: 1_280,
+        ..small_cfg(threads)
+    }
+}
+
+/// A flash-crowd run with every overload control active is still a pure
+/// function of the configuration: thread count and timer kernel must
+/// not move a single bit of the report.
+#[test]
+fn surged_runs_are_thread_and_kernel_invariant() {
+    let base = run_load(&surge_cfg(1));
+    assert!(
+        base.attempts_peak() > 0,
+        "the shock never produced peak attempts:\n{}",
+        base.render_deterministic()
+    );
+    for threads in [2, 8] {
+        for kernel in [Kernel::Heap, Kernel::Wheel] {
+            let other = run_load(&LoadConfig {
+                kernel,
+                ..surge_cfg(threads)
+            });
+            assert_eq!(
+                base.render_deterministic(),
+                other.render_deterministic(),
+                "surged KPI text diverged at {threads} threads on {kernel}"
+            );
+            assert_eq!(
+                base.fingerprint(),
+                other.fingerprint(),
+                "surged fingerprint diverged at {threads} threads on {kernel}"
+            );
+        }
+    }
+}
+
+/// A zero-shock demand plan with the controls off must reproduce the
+/// flat busy hour exactly — the scenario machinery may not spend a
+/// single RNG draw or reorder a single event when it has nothing to do.
+#[test]
+fn zero_shock_plan_reproduces_flat_run() {
+    let flat = run_load(&small_cfg(2));
+    let zero = run_load(&LoadConfig {
+        scenario: ScenarioConfig::flash(0.0),
+        ..small_cfg(2)
+    });
+    assert_eq!(flat.render_deterministic(), zero.render_deterministic());
+    assert_eq!(flat.fingerprint(), zero.fingerprint());
+}
+
+/// The flat-plan fast path of `subscriber_plan_demand` is byte-for-byte
+/// the historical generator, for every subscriber.
+#[test]
+fn flat_demand_plans_delegate_exactly() {
+    let cfg = small_cfg(1).population;
+    let flat = DemandPlan::default();
+    for g in 0..96 {
+        assert_eq!(
+            subscriber_plan(&cfg, 0xD15EA5E, g),
+            subscriber_plan_demand(&cfg, &flat, 0xD15EA5E, g),
+            "subscriber {g} diverged under the flat demand plan"
+        );
+    }
+}
+
+/// Overload-control interventions grow with shock intensity: a stronger
+/// flash crowd can only trip the throttles more, never less. Compared
+/// across shocked runs only — a flat run's steady-state throttling
+/// noise is not attributable to any shock.
+#[test]
+fn overload_kpis_monotone_in_intensity() {
+    let mut last = None;
+    for intensity in [4.0, 10.0, 25.0] {
+        let r = run_load(&LoadConfig {
+            scenario: ScenarioConfig::flash(intensity),
+            ..surge_cfg(2)
+        });
+        let interventions = r.pages_throttled()
+            + r.pages_shed()
+            + r.gk_admission_shed()
+            + r.pdp_deferred()
+            + r.pdp_rejected();
+        if let Some(prev) = last {
+            assert!(
+                interventions >= prev,
+                "interventions fell from {prev} to {interventions} at {intensity}x"
+            );
+        }
+        last = Some(interventions);
+    }
+    assert!(
+        last.unwrap() > 0,
+        "the strongest shock never tripped a single overload control"
+    );
 }

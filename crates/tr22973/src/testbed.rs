@@ -87,6 +87,7 @@ impl TrZone {
                 GatekeeperConfig {
                     addr: cfg.gk_addr,
                     bandwidth_budget: cfg.gk_bandwidth,
+                    shed_utilization: 0.0,
                 },
                 router,
             ),

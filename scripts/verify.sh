@@ -26,6 +26,13 @@ echo "==> chaos determinism smoke (faulted runs: threads x kernels + zero plan)"
 # fault-free run byte for byte.
 cargo run --release -q -p vgprs-bench --bin harness -- chaos --check
 
+echo "==> surge determinism + monotonicity smoke (flash crowds + overload controls)"
+# A surged, controlled run must fingerprint identically at every thread
+# count on both kernels, a zero-shock plan must reproduce the flat busy
+# hour byte for byte, and overload-control interventions must grow
+# monotonically with shock intensity.
+cargo run --release -q -p vgprs-bench --bin harness -- surge --check
+
 echo "==> no ignored tests"
 # An #[ignore]d test is a silently skipped promise. Fail loudly instead.
 if grep -rn '#\[ignore' crates tests; then
