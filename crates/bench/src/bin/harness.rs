@@ -7,7 +7,7 @@
 //!              [--window-secs N] [--rate CALLS_PER_SUB_HOUR] [--hold SECS]
 //!              [--mix MO,MT,M2M] [--mobility FRAC] [--cross-shard-rate FRAC]
 //!              [--tch N] [--voice-sample-ms N] [--kernel heap|wheel]
-//!              [--json PATH]
+//!              [--json PATH] [--snapshots PATH] [--snapshot-secs N]
 //! harness capacity [--subscribers N] [--threads N] [--seed N]
 //!                  [--max-load F] [--refine N] [--json PATH]
 //! harness kernelbench [--subscribers N] [--shards N] [--repeat N]
@@ -19,6 +19,9 @@
 //!               [--window-secs N] [--rate F] [--hold SECS]
 //!               [--gk-bandwidth N] [--paging-rate N] [--gk-shed F]
 //!               [--pdp-rate N] [--out PATH] [--check]
+//! harness diff BASELINE.json CANDIDATE.json [--thresholds PATH] [--json]
+//! harness diff --check [--update-baseline] [--baseline PATH]
+//!              [--thresholds PATH]
 //! harness bench
 //! ```
 //!
@@ -27,10 +30,15 @@
 //! capacity table by `harness capacity`, the event-kernel baseline
 //! in `BENCH_kernel.json` by `harness kernelbench`, the resilience
 //! matrix in `BENCH_chaos.json` by `harness chaos`, and the flash-crowd
-//! overload sweep in `BENCH_surge.json` by `harness surge`.
+//! overload sweep in `BENCH_surge.json` by `harness surge`. `harness
+//! diff` compares two such dumps KPI-by-KPI against the thresholds in
+//! `diff-thresholds.toml` and exits nonzero on regression; `harness
+//! diff --check` is the verify-script gate, diffing a fresh canonical
+//! small run against the committed `baselines/load_small.json`.
 
 use std::time::Instant;
 
+use vgprs_bench::diff::{compare, Thresholds};
 use vgprs_bench::experiments::{
     c1_voice_quality, c2_idle_ablation, c2_setup_latency, c3_context_memory, c4_signaling,
     c5_handoff_cost, interface_usage,
@@ -57,6 +65,7 @@ fn main() {
         "kernelbench" => return kernelbench_cmd(&args[1..]),
         "chaos" => return chaos_cmd(&args[1..]),
         "surge" => return surge_cmd(&args[1..]),
+        "diff" => return diff_cmd(&args[1..]),
         "bench" => return bench_cmd(),
         _ => {}
     }
@@ -88,7 +97,7 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment {arg:?}; expected fig1..fig9, c1..c5, c2b, \
-             load, capacity, kernelbench, chaos, surge, bench or all"
+             load, capacity, kernelbench, chaos, surge, diff, bench or all"
         );
         std::process::exit(2);
     }
@@ -108,9 +117,158 @@ fn load_cmd(rest: &[String]) {
     let report = run_load(&cfg);
     print!("{}", report.render());
     println!("fingerprint           : {:016x}", report.fingerprint());
+    if cfg.snapshot_secs > 0 {
+        println!(
+            "snapshot fingerprint  : {:016x} ({} frames @ {} s)",
+            report.snapshot_fingerprint(),
+            report.snapshots.len(),
+            cfg.snapshot_secs
+        );
+    }
     if let Some(path) = flags.get("--json") {
         write_file(path, &report.to_json());
         println!("json report           : {path}");
+    }
+    if let Some(path) = flags.get("--snapshots") {
+        write_file(path, &report.snapshots_json());
+        println!("snapshot series       : {path}");
+    }
+}
+
+/// Default threshold file and committed baseline for `harness diff`.
+const DIFF_THRESHOLDS: &str = "diff-thresholds.toml";
+const DIFF_BASELINE: &str = "baselines/load_small.json";
+
+/// Reads and parses one JSON report, exiting with a diagnostic on
+/// failure (a malformed dump is an input error, not a panic).
+fn read_report(path: &str) -> vgprs_sim::JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    vgprs_sim::JsonValue::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Loads the threshold file named by `--thresholds` (default
+/// `diff-thresholds.toml`), falling back to built-in defaults when the
+/// default file does not exist.
+fn read_thresholds(flags: &Flags<'_>) -> Thresholds {
+    let (path, required) = match flags.get("--thresholds") {
+        Some(p) => (p, true),
+        None => (DIFF_THRESHOLDS, false),
+    };
+    match std::fs::read_to_string(path) {
+        Ok(text) => Thresholds::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad thresholds in {path}: {e}");
+            std::process::exit(2);
+        }),
+        Err(e) if required => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+        Err(_) => Thresholds::default(),
+    }
+}
+
+/// The canonical small-population run the `--check` gate compares
+/// against the committed baseline: same tiny workload as the chaos and
+/// surge determinism checks, so it finishes in seconds.
+fn diff_check_config() -> LoadConfig {
+    load_config_from(
+        &Flags(&[]),
+        &RunDefaults {
+            subscribers: 96,
+            shards: 4,
+            threads: 1,
+            window_secs: 90,
+            calls_per_sub_hour: 40.0,
+            mean_hold_secs: 20.0,
+            ..RunDefaults::default()
+        },
+    )
+}
+
+/// `harness diff`: structural KPI regression gate. With two positional
+/// paths it compares candidate against baseline and exits nonzero on any
+/// regressed or missing KPI. `--check` instead runs the canonical small
+/// population fresh and diffs it against `baselines/load_small.json`;
+/// `--update-baseline` regenerates that file (after intentional KPI
+/// changes — see `scripts/update-baselines.sh`).
+fn diff_cmd(rest: &[String]) {
+    let flags = Flags(rest);
+    let thresholds = read_thresholds(&flags);
+    if flags.has("--check") || flags.has("--update-baseline") {
+        let baseline_path = flags.get("--baseline").unwrap_or(DIFF_BASELINE);
+        let cfg = diff_check_config();
+        heading(&format!(
+            "KPI regression gate — {} subscribers, {} shards, seed {} vs {}",
+            cfg.subscribers,
+            cfg.effective_shards(),
+            cfg.seed,
+            baseline_path
+        ));
+        let report = run_load(&cfg);
+        println!(
+            "  fresh run: fingerprint {:016x}, snapshot fingerprint {:016x}",
+            report.fingerprint(),
+            report.snapshot_fingerprint()
+        );
+        if flags.has("--update-baseline") {
+            write_file(baseline_path, &report.to_json());
+            println!("  baseline updated: {baseline_path}");
+            return;
+        }
+        let baseline = read_report(baseline_path);
+        let candidate = vgprs_sim::JsonValue::parse(&report.to_json())
+            .expect("a freshly rendered report always parses");
+        let diff = compare(&baseline, &candidate, &thresholds);
+        print!("{}", diff.render());
+        if !diff.passed() {
+            eprintln!("  KPI REGRESSION against {baseline_path}");
+            std::process::exit(1);
+        }
+        println!("  no KPI regressions against the committed baseline");
+        return;
+    }
+    let positional: Vec<&String> = {
+        // Positional operands: everything not consumed as a flag value.
+        let mut skip = false;
+        rest.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if a.as_str() == "--thresholds" || a.as_str() == "--baseline" {
+                    skip = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    let [a_path, b_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: harness diff BASELINE.json CANDIDATE.json [--thresholds PATH] [--json]\n\
+             \x20      harness diff --check [--update-baseline] [--baseline PATH]"
+        );
+        std::process::exit(2);
+    };
+    heading(&format!("KPI diff — {a_path} (baseline) vs {b_path} (candidate)"));
+    let diff = compare(&read_report(a_path), &read_report(b_path), &thresholds);
+    if flags.has("--json") {
+        print!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render());
+    }
+    if !diff.passed() {
+        if !flags.has("--json") {
+            eprintln!("  KPI REGRESSION: {b_path} regressed against {a_path}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -112,6 +112,7 @@ pub fn load_config_from(flags: &Flags<'_>, defaults: &RunDefaults) -> LoadConfig
     cfg.population.mean_hold_secs = flags.parse("--hold", defaults.mean_hold_secs);
     cfg.population.mobility_fraction = flags.parse("--mobility", defaults.mobility_fraction);
     cfg.population.cross_shard_fraction = flags.parse("--cross-shard-rate", 0.0);
+    cfg.snapshot_secs = flags.parse("--snapshot-secs", cfg.snapshot_secs);
     if let Some(raw) = flags.get("--kernel") {
         cfg.kernel = parse_kernel(raw);
     }

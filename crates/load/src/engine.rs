@@ -72,6 +72,10 @@ pub struct LoadConfig {
     /// SGSN PDP admission control). All-off by default, which keeps
     /// every node on its historical code path.
     pub controls: OverloadControls,
+    /// KPI snapshot cadence in simulated seconds (default 60); `0`
+    /// turns time-series sampling off. Sampling is read-only, so the
+    /// run's events and fingerprint are identical either way.
+    pub snapshot_secs: u64,
 }
 
 impl Default for LoadConfig {
@@ -90,6 +94,7 @@ impl Default for LoadConfig {
             faults: FaultPlanConfig::default(),
             scenario: ScenarioConfig::default(),
             controls: OverloadControls::default(),
+            snapshot_secs: 60,
         }
     }
 }
@@ -178,6 +183,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             faults: cfg.faults,
             scenario: cfg.scenario.clone(),
             controls: cfg.controls,
+            snapshot_secs: cfg.snapshot_secs,
         })
         .collect();
 
@@ -271,7 +277,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     reports[0]
         .stats
         .count_by("load.hlr_relocations", directory.relocations());
-    LoadReport::merge(cfg.subscribers, threads, &reports, wall)
+    LoadReport::merge(cfg.subscribers, threads, cfg.snapshot_secs, &reports, wall)
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod mailbox;
 pub mod population;
 pub mod report;
 pub mod shard;
+pub mod snapshot;
 
 pub use capacity::{capacity_knee, capacity_sweep, CapacityPoint, CapacitySweep, KneeEstimate, KneeSearch};
 pub use engine::{partition, run_load, LoadConfig};
@@ -57,6 +58,9 @@ pub use population::{
 };
 pub use report::LoadReport;
 pub use shard::{run_shard, Shard, ShardConfig, ShardReport};
+pub use snapshot::{
+    window_delta, SnapshotFrame, SnapshotRecorder, SNAPSHOT_COUNTERS, SNAPSHOT_HISTOGRAMS,
+};
 // Re-exported so load-engine callers can configure fault plans and
 // demand scenarios without naming those crates themselves.
 pub use vgprs_faults::{FaultClass, FaultPlanConfig};

@@ -13,6 +13,7 @@ use vgprs_media::{EModel, Vocoder};
 use vgprs_sim::{Histogram, Stats};
 
 use crate::shard::ShardReport;
+use crate::snapshot::SnapshotFrame;
 
 /// Jitter-buffer playout depth added to the measured network delay when
 /// scoring MOS (same constant the C1 experiment uses).
@@ -37,6 +38,11 @@ pub struct LoadReport {
     pub sim_secs: f64,
     /// Wall-clock duration of the parallel run (not deterministic).
     pub wall: Duration,
+    /// Snapshot cadence in simulated seconds (`0` = sampling off).
+    pub snapshot_secs: u64,
+    /// The merged KPI time series: one cumulative frame per cadence
+    /// boundary, summed across shards.
+    pub snapshots: Vec<SnapshotFrame>,
 }
 
 impl LoadReport {
@@ -44,16 +50,27 @@ impl LoadReport {
     pub fn merge(
         subscribers: usize,
         threads: usize,
+        snapshot_secs: u64,
         reports: &[ShardReport],
         wall: Duration,
     ) -> LoadReport {
         let mut stats = Stats::new();
         let mut events = 0;
         let mut sim_secs = 0f64;
+        // Frame i of every shard covers the same nominal boundary (the
+        // lockstep engine runs every shard through every epoch), so the
+        // merged series is the index-wise sum, folded in shard order.
+        let mut snapshots: Vec<SnapshotFrame> = Vec::new();
         for r in reports {
             stats.merge(&r.stats);
             events += r.events;
             sim_secs = sim_secs.max(r.sim_end.as_secs_f64());
+            for (i, frame) in r.snapshots.iter().enumerate() {
+                match snapshots.get_mut(i) {
+                    Some(merged) => merged.merge(frame),
+                    None => snapshots.push(frame.clone()),
+                }
+            }
         }
         LoadReport {
             subscribers,
@@ -63,7 +80,32 @@ impl LoadReport {
             events,
             sim_secs,
             wall,
+            snapshot_secs,
+            snapshots,
         }
+    }
+
+    /// The end-of-run snapshot row, sampled from the *merged* stats —
+    /// by construction its KPIs equal the summary KPIs exactly (same
+    /// counters, same histogram sums, same [`score_mos`] scoring).
+    pub fn snapshot_aggregate(&self) -> SnapshotFrame {
+        SnapshotFrame::sample((self.sim_secs * 1000.0).round() as u64, &self.stats)
+    }
+
+    /// FNV-1a over the snapshot stream (cadence, every frame, and the
+    /// end-of-run aggregate). Kept separate from [`Self::fingerprint`]
+    /// so committed BENCH artifacts from earlier PRs stay valid.
+    pub fn snapshot_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.snapshot_secs.to_le_bytes().iter() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        for frame in &self.snapshots {
+            frame.fingerprint_into(&mut h);
+        }
+        self.snapshot_aggregate().fingerprint_into(&mut h);
+        h
     }
 
     fn counter(&self, name: &str) -> u64 {
@@ -285,14 +327,7 @@ impl LoadReport {
     /// playout, and the measured frame loss.
     pub fn mos(&self) -> f64 {
         let delay = self.voice_delay();
-        if delay.count() == 0 {
-            return 0.0;
-        }
-        let one_way_ms = delay.mean() + FRAME_MS + PLAYOUT_MS;
-        EModel::for_codec(&Vocoder::gsm_full_rate()).mos(
-            vgprs_sim::SimDuration::from_micros((one_way_ms * 1000.0) as u64),
-            self.frame_loss(),
-        )
+        score_mos(delay.count(), delay.mean(), self.frame_loss())
     }
 
     /// Events per wall-clock second (not part of the fingerprint).
@@ -634,6 +669,7 @@ impl LoadReport {
         ));
         out.push_str("    }\n");
         out.push_str("  },\n");
+        out.push_str(&self.snapshots_block("  "));
         out.push_str("  \"counters\": {");
         let mut first = true;
         for (name, value) in self.stats.counters() {
@@ -671,6 +707,59 @@ impl LoadReport {
         out
     }
 
+    /// The `"snapshots"` JSON member (with trailing comma) at the
+    /// given indent: cadence, stream fingerprint, every frame, and the
+    /// end-of-run aggregate row.
+    fn snapshots_block(&self, indent: &str) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{indent}\"snapshots\": {{\n"));
+        out.push_str(&format!(
+            "{indent}  \"cadence_secs\": {},\n",
+            self.snapshot_secs
+        ));
+        out.push_str(&format!(
+            "{indent}  \"fingerprint\": \"{:016x}\",\n",
+            self.snapshot_fingerprint()
+        ));
+        out.push_str(&format!("{indent}  \"frames\": ["));
+        let mut first = true;
+        for frame in &self.snapshots {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n{indent}    "));
+            out.push_str(&frame.to_json(&format!("{indent}    ")));
+        }
+        if !first {
+            out.push_str(&format!("\n{indent}  "));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("{indent}  \"aggregate\": "));
+        out.push_str(&self.snapshot_aggregate().to_json(&format!("{indent}  ")));
+        out.push('\n');
+        out.push_str(&format!("{indent}}},\n"));
+        out
+    }
+
+    /// A standalone snapshot-stream document for `harness load
+    /// --snapshots out.json`: run shape plus the time series, without
+    /// the full counter/histogram dump.
+    pub fn snapshots_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"subscribers\": {},\n", self.subscribers));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"sim_secs\": {},\n", json_f64(self.sim_secs)));
+        out.push_str(&self.snapshots_block("  "));
+        out.push_str(&format!(
+            "  \"fingerprint\": \"{:016x}\"\n",
+            self.fingerprint()
+        ));
+        out.push_str("}\n");
+        out
+    }
+
     /// FNV-1a over the deterministic rendering plus every merged
     /// counter and histogram bucket — the value two runs must share to
     /// be considered identical.
@@ -701,7 +790,7 @@ impl LoadReport {
     }
 }
 
-fn ratio(num: u64, den: u64) -> f64 {
+pub(crate) fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
     } else {
@@ -709,9 +798,24 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// E-model MOS for a mean one-way voice delay and frame-loss fraction:
+/// the single scoring path shared by the run summary and the snapshot
+/// frames, so an aggregate frame's MOS equals the summary's bit for
+/// bit. Returns 0.0 when no voice was sampled.
+pub(crate) fn score_mos(delay_count: u64, mean_delay_ms: f64, loss: f64) -> f64 {
+    if delay_count == 0 {
+        return 0.0;
+    }
+    let one_way_ms = mean_delay_ms + FRAME_MS + PLAYOUT_MS;
+    EModel::for_codec(&Vocoder::gsm_full_rate()).mos(
+        vgprs_sim::SimDuration::from_micros((one_way_ms * 1000.0) as u64),
+        loss,
+    )
+}
+
 /// Renders an `f64` as a JSON number — `null` for NaN/infinity, which
 /// JSON cannot represent.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:?}")
     } else {
@@ -756,7 +860,7 @@ mod tests {
 
     #[test]
     fn to_json_is_wellformed_for_an_empty_report() {
-        let report = LoadReport::merge(0, 1, &[], Duration::ZERO);
+        let report = LoadReport::merge(0, 1, 60, &[], Duration::ZERO);
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));

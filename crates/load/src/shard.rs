@@ -39,6 +39,7 @@ use vgprs_wire::{
 
 use crate::mailbox::{Envelope, Flit, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS};
 use crate::population::{Arrival, CallKind, PopulationConfig, SubscriberPlan};
+use crate::snapshot::{SnapshotFrame, SnapshotRecorder};
 
 /// Stream-class salt for per-shard network seeds.
 const STREAM_SHARD: u64 = 0x1656_67B1_9E37_79F9;
@@ -132,6 +133,10 @@ pub struct ShardConfig {
     /// nodes (VMSC paging throttle, gatekeeper ARJ shedding, SGSN PDP
     /// admission control). All-off by default.
     pub controls: OverloadControls,
+    /// KPI snapshot cadence in simulated seconds; `0` turns the
+    /// recorder off. Sampling reads counters the shard maintains
+    /// anyway, so it never perturbs the event stream or fingerprint.
+    pub snapshot_secs: u64,
 }
 
 /// What one shard hands back for merging.
@@ -148,6 +153,9 @@ pub struct ShardReport {
     /// The shard network's counters and histograms, plus the driver's
     /// own `load.*` counters.
     pub stats: Stats,
+    /// Cumulative KPI frames sampled at each cadence boundary, in time
+    /// order (empty when the recorder is off).
+    pub snapshots: Vec<SnapshotFrame>,
 }
 
 /// Driver-scheduled actions, totally ordered by `(time, sequence)`.
@@ -292,6 +300,7 @@ pub struct Shard {
     pending_um: Vec<(NodeId, Dtap)>,
     pending_interrupt: HashMap<usize, u64>,
     outbox: Vec<Envelope>,
+    recorder: SnapshotRecorder,
 }
 
 impl Shard {
@@ -517,6 +526,7 @@ impl Shard {
             pending_um: Vec::new(),
             pending_interrupt: HashMap::new(),
             outbox: Vec::new(),
+            recorder: SnapshotRecorder::new(cfg.snapshot_secs),
         };
         for (local, plan) in plans.iter().enumerate() {
             for &arrival in &plan.arrivals {
@@ -610,6 +620,11 @@ impl Shard {
         self.events += outcome.events;
 
         self.drain_gates();
+        // Sample after the epoch fully settles (gates drained) so a
+        // frame reflects every event up to its boundary. Epoch ends are
+        // the same simulated instants on every shard, thread count and
+        // kernel, so the series inherits the run's determinism.
+        self.recorder.observe(end_rel_us / 1000, self.net.stats());
         std::mem::take(&mut self.outbox)
     }
 
@@ -1407,6 +1422,7 @@ impl Shard {
             events: self.events,
             sim_end: self.net.now(),
             stats: self.net.stats().clone(),
+            snapshots: self.recorder.into_frames(),
         }
     }
 }

@@ -398,3 +398,125 @@ fn overload_kpis_monotone_in_intensity() {
         "the strongest shock never tripped a single overload control"
     );
 }
+
+// ---- KPI time-series snapshots ----
+
+/// The small workload sampled every 30 simulated seconds, so the 90 s
+/// window yields several frames plus a drain-phase tail.
+fn snapshot_cfg(threads: usize) -> LoadConfig {
+    LoadConfig {
+        snapshot_secs: 30,
+        ..small_cfg(threads)
+    }
+}
+
+/// The tentpole property: the snapshot stream — frame times, counters,
+/// histograms, the composite fingerprint — is bit-identical across
+/// worker-thread counts and event kernels, exactly like the end-of-run
+/// report it samples.
+#[test]
+fn snapshot_stream_is_thread_and_kernel_invariant() {
+    let base = run_load(&snapshot_cfg(1));
+    assert!(
+        base.snapshots.len() >= 3,
+        "90 s at a 30 s cadence must yield at least 3 frames, got {}",
+        base.snapshots.len()
+    );
+    for threads in [1, 2, 8] {
+        for kernel in [Kernel::Wheel, Kernel::Heap] {
+            let other = run_load(&LoadConfig {
+                kernel,
+                ..snapshot_cfg(threads)
+            });
+            assert_eq!(
+                base.snapshot_fingerprint(),
+                other.snapshot_fingerprint(),
+                "snapshot fingerprint diverged at {threads} threads on {kernel}"
+            );
+            assert_eq!(
+                base.snapshots.len(),
+                other.snapshots.len(),
+                "frame count diverged at {threads} threads on {kernel}"
+            );
+            for (a, b) in base.snapshots.iter().zip(&other.snapshots) {
+                assert_eq!(a.at_ms, b.at_ms);
+                assert_eq!(a.counters, b.counters);
+                assert_eq!(
+                    a.to_json(""),
+                    b.to_json(""),
+                    "frame at {} ms diverged at {threads} threads on {kernel}",
+                    a.at_ms
+                );
+            }
+        }
+    }
+}
+
+/// The synthesized aggregate frame must agree with the end-of-run
+/// summary KPIs *exactly* — bit-equal floats, not approximately — since
+/// both are computed from the same merged stats.
+#[test]
+fn snapshot_aggregate_equals_summary_kpis() {
+    let r = run_load(&snapshot_cfg(2));
+    let agg = r.snapshot_aggregate();
+    assert_eq!(agg.attempts(), r.attempts());
+    assert_eq!(agg.blocking_rate().to_bits(), r.blocking_rate().to_bits());
+    assert_eq!(agg.frame_loss().to_bits(), r.frame_loss().to_bits());
+    assert_eq!(agg.mos().to_bits(), r.mos().to_bits(), "E-model MOS diverged");
+    let (sparse, dense) = (agg.setup_delay(), r.setup_delay());
+    assert_eq!(sparse.count(), dense.count());
+    assert_eq!(sparse.percentile(50.0).to_bits(), dense.percentile(50.0).to_bits());
+    assert_eq!(sparse.percentile(99.0).to_bits(), dense.percentile(99.0).to_bits());
+    let (sparse, dense) = (agg.handoff_interruption(), r.handoff_interruption());
+    assert_eq!(sparse.count(), dense.count());
+    assert_eq!(sparse.percentile(99.0).to_bits(), dense.percentile(99.0).to_bits());
+}
+
+/// Frames are cumulative: every counter is non-decreasing along the
+/// stream, frame times advance on the nominal cadence grid, and the
+/// last frame never exceeds the aggregate.
+#[test]
+fn snapshot_frames_are_monotone_cumulative() {
+    let r = run_load(&snapshot_cfg(2));
+    let mut prev: Option<&vgprs_load::SnapshotFrame> = None;
+    for frame in &r.snapshots {
+        assert_eq!(frame.at_ms % 30_000, 0, "off-grid frame at {} ms", frame.at_ms);
+        if let Some(p) = prev {
+            assert!(p.at_ms < frame.at_ms, "frame times must strictly increase");
+            for (i, name) in vgprs_load::SNAPSHOT_COUNTERS.iter().enumerate() {
+                assert!(
+                    p.counters[i] <= frame.counters[i],
+                    "{name} fell from {} to {} at {} ms",
+                    p.counters[i],
+                    frame.counters[i],
+                    frame.at_ms
+                );
+            }
+        }
+        prev = Some(frame);
+    }
+    let last = r.snapshots.last().expect("at least one frame");
+    let agg = r.snapshot_aggregate();
+    for (i, name) in vgprs_load::SNAPSHOT_COUNTERS.iter().enumerate() {
+        assert!(
+            last.counters[i] <= agg.counters[i],
+            "{name}: last frame {} exceeds aggregate {}",
+            last.counters[i],
+            agg.counters[i]
+        );
+    }
+}
+
+/// Snapshot sampling is read-only: turning it off (or changing its
+/// cadence) must not move a single bit of the simulation itself.
+#[test]
+fn snapshot_cadence_does_not_perturb_the_run() {
+    let off = run_load(&LoadConfig {
+        snapshot_secs: 0,
+        ..small_cfg(2)
+    });
+    assert!(off.snapshots.is_empty(), "cadence 0 must disable sampling");
+    let on = run_load(&snapshot_cfg(2));
+    assert_eq!(off.fingerprint(), on.fingerprint());
+    assert_eq!(off.render_deterministic(), on.render_deterministic());
+}

@@ -62,6 +62,7 @@ mod backoff;
 mod context;
 mod event;
 mod interface;
+pub mod json;
 mod ladder;
 mod link;
 mod net;
@@ -82,7 +83,8 @@ pub use link::{Link, LinkConfig, LinkQuality};
 pub use net::{Network, RunOutcome};
 pub use node::{Node, NodeId, Payload};
 pub use rng::SimRng;
-pub use stats::{Counter, Histogram, Stats};
+pub use json::{JsonError, JsonValue};
+pub use stats::{Counter, Histogram, SparseHistogram, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
 pub use wheel::CalendarWheel;

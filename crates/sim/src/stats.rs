@@ -219,6 +219,226 @@ impl Histogram {
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| (bucket_midpoint(i), n))
     }
+
+    /// The observations recorded since `prev` was sampled, as a new
+    /// histogram: the **windowed** view of a cumulative series. `prev`
+    /// must be an earlier sample of the same stream (every bucket of
+    /// `prev` is ≤ the corresponding bucket here); counts and sums
+    /// subtract exactly.
+    ///
+    /// A window cannot recover which exact values arrived inside it, so
+    /// the result carries **no min/max extremes** — `min()`/`max()`
+    /// return `None` and percentiles fall back to bucket midpoints
+    /// (~3% resolution). Critically, an *empty* window (no new samples)
+    /// keeps the `+inf/-inf` sentinels, so merging it into an
+    /// accumulator never poisons the accumulator's extremes — the same
+    /// guard the PR 2 empty-shard merge fix established.
+    pub fn delta_from(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (cur, old)) in self.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            debug_assert!(cur >= old, "bucket {i} shrank: {old} -> {cur}");
+            out.buckets[i] = cur.saturating_sub(*old);
+        }
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = if out.count == 0 { 0.0 } else { self.sum - prev.sum };
+        // min/max stay at the empty sentinels: the window's true
+        // extremes are unknowable from cumulative bucket counts.
+        out
+    }
+}
+
+/// A compact, mergeable snapshot of a [`Histogram`]: only the occupied
+/// buckets, plus the exact count/sum/min/max. Built for KPI time-series
+/// sampling, where thousands of per-window frames would make the dense
+/// fixed-array form (~4 KB each) the dominant memory cost.
+///
+/// Percentiles, mean and extremes reproduce the dense histogram's
+/// answers **exactly** (same bucket midpoints, same clamping, same
+/// empty/NaN sentinels), so KPIs derived from a snapshot at end-of-run
+/// equal KPIs derived from the live histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseHistogram {
+    /// Occupied `(bucket_index, count)` pairs, ascending by index.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for SparseHistogram {
+    fn default() -> Self {
+        // Not derived: the empty extremes are the ±inf sentinels, not 0.0.
+        SparseHistogram::new()
+    }
+}
+
+impl SparseHistogram {
+    /// An empty snapshot (identity for [`SparseHistogram::merge`]).
+    pub fn new() -> Self {
+        SparseHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Samples a dense histogram into the compact form.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        SparseHistogram {
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u32, n))
+                .collect(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+        }
+    }
+
+    /// Expands back to the dense form (for windowed deltas and merges
+    /// that want to reuse the dense histogram's arithmetic).
+    pub fn to_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for &(i, n) in &self.buckets {
+            h.buckets[i as usize] = n;
+        }
+        h.count = self.count;
+        h.sum = self.sum;
+        h.min = self.min;
+        h.max = self.max;
+        h
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn has_extremes(&self) -> bool {
+        self.min <= self.max
+    }
+
+    /// Smallest observation, or `None` when empty (or sampled from a
+    /// windowed delta, which carries no extremes).
+    pub fn min(&self) -> Option<f64> {
+        self.has_extremes().then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.has_extremes().then_some(self.max)
+    }
+
+    /// The `p`-th percentile (0–100), identical to
+    /// [`Histogram::percentile`] on the equivalent dense histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if !self.has_extremes() {
+            let mut seen = 0;
+            for &(i, n) in &self.buckets {
+                seen += n;
+                if seen >= rank {
+                    return bucket_midpoint(i as usize);
+                }
+            }
+            return 0.0;
+        }
+        if p == 0.0 {
+            return self.min;
+        }
+        if p == 100.0 {
+            return self.max;
+        }
+        let mut seen = 0;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_midpoint(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another snapshot into this one, with the same
+    /// empty-extremes guard as [`Histogram::merge`]: merging an empty
+    /// (or windowed, extreme-less) snapshot never drags the ±inf
+    /// sentinels into a populated accumulator.
+    pub fn merge(&mut self, other: &SparseHistogram) {
+        if other.count == 0 && other.buckets.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.has_extremes() {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Occupied buckets as `(range_midpoint, count)` pairs, in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|&(i, n)| (bucket_midpoint(i as usize), n))
+    }
 }
 
 impl fmt::Debug for Histogram {
@@ -556,6 +776,107 @@ mod tests {
         }
         assert_eq!(merged.min(), Some(2.0));
         assert_eq!(merged.max(), Some(9.0));
+    }
+
+    #[test]
+    fn windowed_delta_subtracts_exactly() {
+        let mut prev = Histogram::new();
+        for v in [1.0, 5.0, 9.0] {
+            prev.observe(v);
+        }
+        let mut cur = prev.clone();
+        for v in [2.0, 40.0] {
+            cur.observe(v);
+        }
+        let w = cur.delta_from(&prev);
+        assert_eq!(w.count(), 2);
+        assert!((w.sum() - 42.0).abs() < 1e-9);
+        assert!((w.mean() - 21.0).abs() < 1e-9);
+        // Window extremes are unknowable: percentiles fall back to
+        // bucket midpoints (~3%) instead of clamping to fake extremes.
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+        let p100 = w.percentile(100.0);
+        assert!((p100 - 40.0).abs() / 40.0 < 0.05, "p100 = {p100}");
+        let buckets: Vec<(f64, u64)> = w.nonzero_buckets().collect();
+        assert_eq!(buckets.iter().map(|b| b.1).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn merge_of_empty_window_delta_does_not_poison_extremes() {
+        // The PR 2 regression (merging an empty shard histogram) extended
+        // to windowed sampling: a snapshot window in which a KPI saw no
+        // new samples produces an empty delta, and folding that window
+        // into an accumulator must leave min/max untouched.
+        let mut cum = Histogram::new();
+        cum.observe(3.0);
+        cum.observe(30.0);
+        let empty_window = cum.delta_from(&cum.clone());
+        assert_eq!(empty_window.count(), 0);
+        assert_eq!(empty_window.min(), None);
+        assert_eq!(empty_window.max(), None);
+        assert_eq!(empty_window.sum(), 0.0);
+
+        let mut acc = Histogram::new();
+        acc.observe(7.0);
+        acc.merge(&empty_window);
+        assert_eq!(acc.min(), Some(7.0));
+        assert_eq!(acc.max(), Some(7.0));
+        assert_eq!(acc.percentile(100.0), 7.0);
+
+        // Same property on the sparse snapshot form the recorder stores.
+        let mut sacc = SparseHistogram::from_histogram(&acc);
+        sacc.merge(&SparseHistogram::from_histogram(&empty_window));
+        assert_eq!(sacc.min(), Some(7.0));
+        assert_eq!(sacc.max(), Some(7.0));
+        assert_eq!(sacc.count(), 1);
+    }
+
+    #[test]
+    fn sparse_histogram_reproduces_dense_answers_exactly() {
+        let mut h = Histogram::new();
+        for i in 1..=5_000 {
+            h.observe(i as f64 * 0.73);
+        }
+        let s = SparseHistogram::from_histogram(&h);
+        assert_eq!(s.count(), h.count());
+        assert_eq!(s.sum(), h.sum());
+        assert_eq!(s.mean(), h.mean());
+        assert_eq!(s.min(), h.min());
+        assert_eq!(s.max(), h.max());
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), h.percentile(p), "p{p}");
+        }
+        // Round trip through the dense form is lossless.
+        let back = s.to_histogram();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.percentile(50.0), h.percentile(50.0));
+        assert_eq!(SparseHistogram::from_histogram(&back), s);
+    }
+
+    #[test]
+    fn sparse_merge_matches_dense_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..500 {
+            if i % 3 == 0 {
+                a.observe(i as f64 + 0.5);
+            } else {
+                b.observe((i * 7) as f64 + 0.25);
+            }
+        }
+        let mut dense = a.clone();
+        dense.merge(&b);
+        let mut sparse = SparseHistogram::from_histogram(&a);
+        sparse.merge(&SparseHistogram::from_histogram(&b));
+        assert_eq!(sparse, SparseHistogram::from_histogram(&dense));
+        for p in [5.0, 50.0, 95.0, 100.0] {
+            assert_eq!(sparse.percentile(p), dense.percentile(p), "p{p}");
+        }
+        // Merging into the empty identity is a copy.
+        let mut id = SparseHistogram::new();
+        id.merge(&sparse);
+        assert_eq!(id, sparse);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the committed KPI baselines that `harness diff --check`
+# (and therefore scripts/verify.sh) gates against.
+#
+# Run this ONLY after an intentional KPI change — a new feature, a
+# semantic fix, a schema extension — and commit the refreshed
+# baselines/load_small.json together with the change that moved the
+# numbers, so the diff gate's history tracks the why. An unintentional
+# drift should be fixed, not baked into a new baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --quiet
+./target/release/harness diff --update-baseline "$@"
+
+echo
+echo "Re-running the gate against the fresh baseline:"
+./target/release/harness diff --check "$@"
+echo
+echo "Baseline refreshed. Review 'git diff baselines/' before committing."

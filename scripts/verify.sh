@@ -33,6 +33,14 @@ echo "==> surge determinism + monotonicity smoke (flash crowds + overload contro
 # monotonically with shock intensity.
 cargo run --release -q -p vgprs-bench --bin harness -- surge --check
 
+echo "==> KPI regression gate (fresh small run vs committed baseline)"
+# A fresh canonical small-population run is structurally diffed against
+# baselines/load_small.json under diff-thresholds.toml. A regressed,
+# missing or drifted KPI exits nonzero. After an *intentional* KPI
+# change, refresh the baseline with scripts/update-baselines.sh and
+# commit it with the change.
+cargo run --release -q -p vgprs-bench --bin harness -- diff --check
+
 echo "==> no ignored tests"
 # An #[ignore]d test is a silently skipped promise. Fail loudly instead.
 if grep -rn '#\[ignore' crates tests; then
