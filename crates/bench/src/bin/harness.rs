@@ -7,14 +7,16 @@
 //!              [--window-secs N] [--rate CALLS_PER_SUB_HOUR] [--hold SECS]
 //!              [--mix MO,MT,M2M] [--mobility FRAC] [--cross-shard-rate FRAC]
 //!              [--tch N] [--voice-sample-ms N] [--kernel heap|wheel]
+//!              [--trunk-intensity F] [--trunk-class CLASS]
 //!              [--json PATH] [--snapshots PATH] [--snapshot-secs N]
+//!              [--snapshots-per-shard] [--snapshots-csv PATH]
 //! harness capacity [--subscribers N] [--threads N] [--seed N]
 //!                  [--max-load F] [--refine N] [--json PATH]
 //! harness kernelbench [--subscribers N] [--shards N] [--repeat N]
 //!                     [--out PATH] [--check]
 //! harness chaos [--subscribers N] [--shards N] [--threads N] [--seed N]
 //!               [--window-secs N] [--rate F] [--hold SECS] [--out PATH]
-//!               [--check]
+//!               [--cross-shard-rate FRAC] [--check]
 //! harness surge [--subscribers N] [--shards N] [--threads N] [--seed N]
 //!               [--window-secs N] [--rate F] [--hold SECS]
 //!               [--gk-bandwidth N] [--paging-rate N] [--gk-shed F]
@@ -51,7 +53,7 @@ use vgprs_bench::scenarios::{
 };
 use vgprs_load::{
     capacity_knee, run_load, FaultClass, FaultPlanConfig, LoadConfig, OverloadControls,
-    ScenarioConfig,
+    ScenarioConfig, TrunkFaultClass, TrunkPlanConfig,
 };
 use vgprs_sim::{Kernel, LadderDiagram, SimDuration};
 use vgprs_wire::{CallId, Command, Message};
@@ -129,9 +131,17 @@ fn load_cmd(rest: &[String]) {
         write_file(path, &report.to_json());
         println!("json report           : {path}");
     }
+    let per_shard = flags.has("--snapshots-per-shard");
     if let Some(path) = flags.get("--snapshots") {
-        write_file(path, &report.snapshots_json());
-        println!("snapshot series       : {path}");
+        write_file(path, &report.snapshots_json_with(per_shard));
+        println!(
+            "snapshot series       : {path}{}",
+            if per_shard { " (with per-shard series)" } else { "" }
+        );
+    }
+    if let Some(path) = flags.get("--snapshots-csv") {
+        write_file(path, &report.snapshots_csv(per_shard));
+        println!("snapshot csv          : {path}");
     }
 }
 
@@ -528,16 +538,22 @@ struct ChaosCell {
     unavailability_secs: f64,
     frame_loss: f64,
     mos: f64,
+    trunk_retransmits: u64,
+    trunk_dup_drops: u64,
+    trunk_dup_injected: u64,
+    trunk_reordered: u64,
+    trunk_expired: u64,
+    trunk_frame_drops: u64,
+    trunk_handoff_drops: u64,
+    trunk_reroutes: u64,
     fingerprint: u64,
 }
 
-fn run_chaos_cell(base: &LoadConfig, class: Option<FaultClass>, intensity: f64) -> ChaosCell {
-    let mut cfg = base.clone();
-    cfg.faults = match class {
-        Some(c) => FaultPlanConfig::only(c, intensity),
-        None => FaultPlanConfig::default(),
-    };
-    let report = run_load(&cfg);
+/// Folds one finished run into a [`ChaosCell`] row. Classic node-fault
+/// cells leave the trunk counters at zero and vice versa — the matrix
+/// keeps one uniform schema for both fault families.
+fn chaos_cell_from(label: &'static str, intensity: f64, cfg: &LoadConfig) -> ChaosCell {
+    let report = run_load(cfg);
     let dropped_faulted = FaultClass::ALL
         .into_iter()
         .map(|c| report.dropped_by_class(c))
@@ -545,7 +561,7 @@ fn run_chaos_cell(base: &LoadConfig, class: Option<FaultClass>, intensity: f64) 
     let recovery = report.recovery_time();
     let (ras_retries, arq_retries) = report.guard_retries();
     ChaosCell {
-        label: class.map_or("baseline", FaultClass::key),
+        label,
         intensity,
         faults_injected: report.faults_injected(),
         attempts: report.attempts(),
@@ -568,8 +584,49 @@ fn run_chaos_cell(base: &LoadConfig, class: Option<FaultClass>, intensity: f64) 
             .sum(),
         frame_loss: report.frame_loss(),
         mos: report.mos(),
+        trunk_retransmits: report.trunk_retransmits(),
+        trunk_dup_drops: report.trunk_dup_drops(),
+        trunk_dup_injected: report.trunk_dup_injected(),
+        trunk_reordered: report.trunk_reordered(),
+        trunk_expired: report.trunk_expired(),
+        trunk_frame_drops: report.trunk_frame_drops(),
+        trunk_handoff_drops: report.trunk_handoff_drops(),
+        trunk_reroutes: report.trunk_reroutes(),
         fingerprint: report.fingerprint(),
     }
+}
+
+fn run_chaos_cell(base: &LoadConfig, class: Option<FaultClass>, intensity: f64) -> ChaosCell {
+    let mut cfg = base.clone();
+    cfg.faults = match class {
+        Some(c) => FaultPlanConfig::only(c, intensity),
+        None => FaultPlanConfig::default(),
+    };
+    chaos_cell_from(class.map_or("baseline", FaultClass::key), intensity, &cfg)
+}
+
+fn run_trunk_cell(base: &LoadConfig, class: Option<TrunkFaultClass>, intensity: f64) -> ChaosCell {
+    let mut cfg = base.clone();
+    cfg.trunk = match class {
+        Some(c) => TrunkPlanConfig::only(c, intensity),
+        None => TrunkPlanConfig::default(),
+    };
+    chaos_cell_from(
+        class.map_or("trunk_baseline", TrunkFaultClass::key),
+        intensity,
+        &cfg,
+    )
+}
+
+/// The chaos workload with cross-shard traffic switched on: trunk
+/// faults only bite flits that actually cross a shard boundary, so the
+/// trunk rows and gates run a population where a third of the calls do.
+fn cross_shard_base(base: &LoadConfig) -> LoadConfig {
+    let mut cfg = base.clone();
+    if cfg.population.cross_shard_fraction == 0.0 {
+        cfg.population.cross_shard_fraction = 0.35;
+    }
+    cfg
 }
 
 /// Resilience matrix: every fault class at two intensities against the
@@ -606,13 +663,21 @@ fn chaos_cmd(rest: &[String]) {
             cells.push(run_chaos_cell(&base, Some(class), intensity));
         }
     }
+    let xbase = cross_shard_base(&base);
+    let trunk_start = cells.len();
+    cells.push(run_trunk_cell(&xbase, None, 0.0));
+    for class in TrunkFaultClass::ALL {
+        for intensity in [0.3, 1.0] {
+            cells.push(run_trunk_cell(&xbase, Some(class), intensity));
+        }
+    }
     println!(
-        "  {:<13} {:>5} | {:>6} {:>7} {:>6} | {:>9} {:>9} {:>4} | {:>7} {:>5}",
+        "  {:<15} {:>5} | {:>6} {:>7} {:>6} | {:>9} {:>9} {:>4} | {:>7} {:>5}",
         "class", "int", "faults", "drop%", "redial", "rec p50", "rec p99", "n", "loss%", "MOS"
     );
-    for c in &cells {
+    for c in &cells[..trunk_start] {
         println!(
-            "  {:<13} {:>5.1} | {:>6} {:>6.2}% {:>6} | {:>7.1}ms {:>7.1}ms {:>4} | {:>6.2}% {:>5.2}",
+            "  {:<15} {:>5.1} | {:>6} {:>6.2}% {:>6} | {:>7.1}ms {:>7.1}ms {:>4} | {:>6.2}% {:>5.2}",
             c.label,
             c.intensity,
             c.faults_injected,
@@ -621,6 +686,27 @@ fn chaos_cmd(rest: &[String]) {
             c.recovery_p50,
             c.recovery_p99,
             c.recovery_n,
+            c.frame_loss * 100.0,
+            c.mos
+        );
+    }
+    println!(
+        "  {:<15} {:>5} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>7} {:>5}",
+        "trunk class", "int", "retx", "dup", "reord", "exp", "hodrop", "route", "frames", "loss%",
+        "MOS"
+    );
+    for c in &cells[trunk_start..] {
+        println!(
+            "  {:<15} {:>5.1} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>6.2}% {:>5.2}",
+            c.label,
+            c.intensity,
+            c.trunk_retransmits,
+            c.trunk_dup_drops,
+            c.trunk_reordered,
+            c.trunk_expired,
+            c.trunk_handoff_drops,
+            c.trunk_reroutes,
+            c.trunk_frame_drops,
             c.frame_loss * 100.0,
             c.mos
         );
@@ -653,7 +739,11 @@ fn chaos_json(base: &LoadConfig, cells: &[ChaosCell]) -> String {
              \"drop_rate\": {:.6}, \"recovery_n\": {}, \"recovery_p50_ms\": {:.1}, \
              \"recovery_p99_ms\": {:.1}, \"ras_retries\": {}, \"arq_retries\": {}, \
              \"redial_attempts\": {}, \"unavailability_secs\": {:.1}, \
-             \"frame_loss\": {:.6}, \"mos\": {:.3}, \"fingerprint\": \"{:016x}\"}}",
+             \"frame_loss\": {:.6}, \"mos\": {:.3}, \"trunk_retransmits\": {}, \
+             \"trunk_dup_drops\": {}, \"trunk_dup_injected\": {}, \"trunk_reordered\": {}, \
+             \"trunk_expired\": {}, \"trunk_frame_drops\": {}, \
+             \"trunk_handoff_drops\": {}, \"trunk_reroutes\": {}, \
+             \"fingerprint\": \"{:016x}\"}}",
             c.label,
             c.intensity,
             c.faults_injected,
@@ -670,6 +760,14 @@ fn chaos_json(base: &LoadConfig, cells: &[ChaosCell]) -> String {
             c.unavailability_secs,
             c.frame_loss,
             c.mos,
+            c.trunk_retransmits,
+            c.trunk_dup_drops,
+            c.trunk_dup_injected,
+            c.trunk_reordered,
+            c.trunk_expired,
+            c.trunk_frame_drops,
+            c.trunk_handoff_drops,
+            c.trunk_reroutes,
             c.fingerprint
         ));
     }
@@ -679,7 +777,10 @@ fn chaos_json(base: &LoadConfig, cells: &[ChaosCell]) -> String {
 
 /// The chaos determinism gate: a fixed fault plan must fingerprint
 /// identically at every thread count on both kernels, and a
-/// zero-intensity plan must reproduce the fault-free run exactly.
+/// zero-intensity plan must reproduce the fault-free run exactly. The
+/// same two contracts are then enforced for the trunk fault family on a
+/// cross-shard population, plus per-class monotonicity: raising a trunk
+/// class's intensity must never reduce the damage it reports.
 fn chaos_check(flags: &Flags<'_>) {
     let base = load_config_from(
         flags,
@@ -722,7 +823,7 @@ fn chaos_check(flags: &Flags<'_>) {
 
     let faulted = LoadConfig {
         faults: FaultPlanConfig::all(1.0),
-        ..base
+        ..base.clone()
     };
     let reference = run_load(&faulted);
     println!(
@@ -757,10 +858,106 @@ fn chaos_check(flags: &Flags<'_>) {
             }
         }
     }
+
+    // --- Trunk fault family, on a population with cross-shard calls ---
+    let cross = cross_shard_base(&base);
+    let plain_cross = run_load(&cross);
+    let zero_trunk = run_load(&LoadConfig {
+        trunk: TrunkPlanConfig::all(0.0),
+        ..cross.clone()
+    });
+    if plain_cross.fingerprint() == zero_trunk.fingerprint() {
+        println!(
+            "  zero-intensity trunk plan == trunk-free: {:016x}",
+            plain_cross.fingerprint()
+        );
+    } else {
+        eprintln!(
+            "  TRUNK ZERO-INTENSITY DIVERGENCE: trunk-free {:016x} != zero-plan {:016x}",
+            plain_cross.fingerprint(),
+            zero_trunk.fingerprint()
+        );
+        failed = true;
+    }
+
+    let trunk_faulted = LoadConfig {
+        trunk: TrunkPlanConfig::all(1.0),
+        ..cross
+    };
+    let trunk_reference = run_load(&trunk_faulted);
+    println!(
+        "  trunk-faulted reference (1 thread, wheel): {:016x} ({} retransmits, {} expired)",
+        trunk_reference.fingerprint(),
+        trunk_reference.trunk_retransmits(),
+        trunk_reference.trunk_expired()
+    );
+    if trunk_reference.trunk_retransmits() == 0 {
+        eprintln!("  NO TRUNK RETRANSMITS: the trunk check is vacuous");
+        failed = true;
+    }
+    for threads in [1usize, 2, 8] {
+        for kernel in [Kernel::Wheel, Kernel::Heap] {
+            if threads == 1 && kernel == Kernel::Wheel {
+                continue; // that is the reference itself
+            }
+            let other = run_load(&LoadConfig {
+                threads,
+                kernel,
+                ..trunk_faulted.clone()
+            });
+            if other.fingerprint() == trunk_reference.fingerprint() {
+                println!("  trunk: {threads} thread(s) on {kernel}: identical");
+            } else {
+                eprintln!(
+                    "  TRUNK DIVERGENCE at {threads} thread(s) on {kernel}: \
+                     {:016x} != {:016x}",
+                    other.fingerprint(),
+                    trunk_reference.fingerprint()
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Per-class graceful degradation: each class's own damage counter
+    // must not shrink when its intensity rises (prefix-superset plans
+    // make this hold by construction; the gate catches regressions).
+    for class in TrunkFaultClass::ALL {
+        let damage = |intensity: f64| -> u64 {
+            let report = run_load(&LoadConfig {
+                trunk: TrunkPlanConfig::only(class, intensity),
+                ..trunk_faulted.clone()
+            });
+            match class {
+                TrunkFaultClass::Loss => report.trunk_loss_drops(),
+                TrunkFaultClass::Dup => report.trunk_dup_injected(),
+                TrunkFaultClass::Reorder => report.trunk_reordered(),
+                TrunkFaultClass::Partition => report.trunk_partition_drops(),
+            }
+        };
+        let (low, high) = (damage(0.3), damage(1.0));
+        if high < low {
+            eprintln!(
+                "  TRUNK NON-MONOTONE: {} damage fell from {} to {} as intensity rose",
+                class.key(),
+                low,
+                high
+            );
+            failed = true;
+        } else {
+            println!(
+                "  trunk {} monotone: {} damage at 0.3 -> {} at 1.0",
+                class.key(),
+                low,
+                high
+            );
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }
-    println!("  chaos determinism holds");
+    println!("  chaos determinism holds (node faults and trunk faults)");
 }
 
 /// One cell of the surge sweep: a flash-crowd intensity with the

@@ -6,7 +6,7 @@
 //! run-metadata block into its `BENCH_*.json` artifact. Keeping the
 //! pieces here means a new subcommand cannot drift from the others.
 
-use vgprs_load::{CallMix, LoadConfig};
+use vgprs_load::{CallMix, LoadConfig, TrunkFaultClass, TrunkPlanConfig};
 use vgprs_sim::Kernel;
 
 /// The master seed every experiment defaults to.
@@ -40,6 +40,26 @@ impl Flags<'_> {
     /// Presence of a bare flag with no value (e.g. `--check`).
     pub fn has(&self, name: &str) -> bool {
         self.0.iter().any(|a| a == name)
+    }
+}
+
+/// Parses a trunk fault class name (`loss`, `dup`, `reorder`,
+/// `partition` — the `trunk_` prefix is optional), exiting with a
+/// usage error otherwise.
+pub fn parse_trunk_class(raw: &str) -> TrunkFaultClass {
+    let key = raw.strip_prefix("trunk_").unwrap_or(raw);
+    match key {
+        "loss" => TrunkFaultClass::Loss,
+        "dup" => TrunkFaultClass::Dup,
+        "reorder" => TrunkFaultClass::Reorder,
+        "partition" => TrunkFaultClass::Partition,
+        _ => {
+            eprintln!(
+                "invalid value {raw:?} for --trunk-class; expected loss, dup, \
+                 reorder, partition or all"
+            );
+            std::process::exit(2);
+        }
     }
 }
 
@@ -113,6 +133,13 @@ pub fn load_config_from(flags: &Flags<'_>, defaults: &RunDefaults) -> LoadConfig
     cfg.population.mobility_fraction = flags.parse("--mobility", defaults.mobility_fraction);
     cfg.population.cross_shard_fraction = flags.parse("--cross-shard-rate", 0.0);
     cfg.snapshot_secs = flags.parse("--snapshot-secs", cfg.snapshot_secs);
+    let trunk_intensity: f64 = flags.parse("--trunk-intensity", 0.0);
+    if trunk_intensity > 0.0 {
+        cfg.trunk = match flags.get("--trunk-class") {
+            None | Some("all") => TrunkPlanConfig::all(trunk_intensity),
+            Some(raw) => TrunkPlanConfig::only(parse_trunk_class(raw), trunk_intensity),
+        };
+    }
     if let Some(raw) = flags.get("--kernel") {
         cfg.kernel = parse_kernel(raw);
     }

@@ -243,6 +243,7 @@ impl VgprsZone {
                 BtsConfig {
                     cell: cfg.cell,
                     pdch_bps: cfg.pdch_bps,
+                    ..BtsConfig::default()
                 },
                 bsc,
             ),
@@ -491,6 +492,7 @@ impl GsmZone {
                 BtsConfig {
                     cell: cfg.cell,
                     pdch_bps: 40_000,
+                    ..BtsConfig::default()
                 },
                 bsc,
             ),

@@ -294,6 +294,261 @@ pub fn compile_plan(
     plan
 }
 
+// ---------------------------------------------------------------------------
+// Inter-shard trunk chaos
+// ---------------------------------------------------------------------------
+
+/// Sub-stream salt for inter-shard trunk chaos, disjoint from
+/// [`STREAM_FAULTS`] and from every load-engine stream.
+pub const STREAM_TRUNK: u64 = 0x7B0C_41E5_CAB1_E5A7_u64;
+
+/// Multiplicative mixer for composing trunk sub-stream salts. XOR-ing
+/// raw indices together collides (`src=1,dst=2` vs `src=2,dst=1`); a
+/// fold through an odd multiplier keeps every `(pair, class, window)`
+/// combination on its own RNG stream.
+pub fn mix_salt(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The four injectable trunk failure classes. They impair the
+/// epoch-barrier mailbox between a *pair* of shards — the inter-VMSC
+/// E-interface trunks of the paper's Figure 9 — rather than any link
+/// inside a shard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TrunkFaultClass {
+    /// Envelopes vanish in transit and must be retransmitted.
+    Loss,
+    /// Envelopes arrive twice; the receiver must suppress the copy.
+    Dup,
+    /// Envelopes are reshuffled within an epoch; the receiver must
+    /// buffer and release in sequence order.
+    Reorder,
+    /// Full bidirectional partition with trapezoidal onset and heal:
+    /// the drop probability ramps 0 → 1, holds, and ramps back down.
+    Partition,
+}
+
+impl TrunkFaultClass {
+    /// All classes, in a fixed order used for plan compilation and KPIs.
+    pub const ALL: [TrunkFaultClass; 4] = [
+        TrunkFaultClass::Loss,
+        TrunkFaultClass::Dup,
+        TrunkFaultClass::Reorder,
+        TrunkFaultClass::Partition,
+    ];
+
+    /// Stable lowercase identifier used in stats keys and JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            TrunkFaultClass::Loss => "trunk_loss",
+            TrunkFaultClass::Dup => "trunk_dup",
+            TrunkFaultClass::Reorder => "trunk_reorder",
+            TrunkFaultClass::Partition => "trunk_partition",
+        }
+    }
+}
+
+/// Knobs for [`compile_trunk_plan`]. `Default` is all-off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrunkPlanConfig {
+    /// Scales window count, window length and impairment level. `0.0`
+    /// compiles to an empty plan; `1.0` is the nominal chaos level.
+    pub intensity: f64,
+    /// Enable [`TrunkFaultClass::Loss`] windows.
+    pub loss: bool,
+    /// Enable [`TrunkFaultClass::Dup`] windows.
+    pub dup: bool,
+    /// Enable [`TrunkFaultClass::Reorder`] windows.
+    pub reorder: bool,
+    /// Enable [`TrunkFaultClass::Partition`] windows.
+    pub partition: bool,
+}
+
+impl Default for TrunkPlanConfig {
+    fn default() -> Self {
+        TrunkPlanConfig { intensity: 0.0, loss: false, dup: false, reorder: false, partition: false }
+    }
+}
+
+impl TrunkPlanConfig {
+    /// Convenience: all four classes enabled at the given intensity.
+    pub fn all(intensity: f64) -> Self {
+        TrunkPlanConfig { intensity, loss: true, dup: true, reorder: true, partition: true }
+    }
+
+    /// Convenience: a single class enabled at the given intensity.
+    pub fn only(class: TrunkFaultClass, intensity: f64) -> Self {
+        let mut cfg = TrunkPlanConfig { intensity, ..TrunkPlanConfig::default() };
+        match class {
+            TrunkFaultClass::Loss => cfg.loss = true,
+            TrunkFaultClass::Dup => cfg.dup = true,
+            TrunkFaultClass::Reorder => cfg.reorder = true,
+            TrunkFaultClass::Partition => cfg.partition = true,
+        }
+        cfg
+    }
+
+    /// True if no window can ever be compiled from this config.
+    pub fn is_off(&self) -> bool {
+        self.intensity <= 0.0 || !(self.loss || self.dup || self.reorder || self.partition)
+    }
+}
+
+/// One scheduled trunk impairment window on a shard pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrunkWindow {
+    /// Window start, ms after the busy-hour origin.
+    pub at_ms: u64,
+    /// Window length in ms.
+    pub duration_ms: u64,
+    /// What the window does.
+    pub class: TrunkFaultClass,
+    /// Plateau impairment level: a probability for loss/dup/reorder,
+    /// `1.0` (full drop) for partitions.
+    pub level: f64,
+    /// Trapezoid ramp length: the level climbs from 0 to `level` over
+    /// the first `ramp_ms` and descends over the last `ramp_ms`. `0`
+    /// means a square window.
+    pub ramp_ms: u64,
+}
+
+impl TrunkWindow {
+    /// Effective level at `t_ms`: trapezoidal interpolation inside the
+    /// window, zero outside.
+    pub fn level_at(&self, t_ms: u64) -> f64 {
+        if t_ms < self.at_ms || t_ms >= self.at_ms + self.duration_ms {
+            return 0.0;
+        }
+        if self.ramp_ms == 0 {
+            return self.level;
+        }
+        let into = (t_ms - self.at_ms) as f64;
+        let left = (self.at_ms + self.duration_ms - t_ms) as f64;
+        let ramp = self.ramp_ms as f64;
+        self.level * (into / ramp).min(left / ramp).min(1.0)
+    }
+}
+
+/// A compiled trunk chaos schedule for one unordered shard pair.
+/// Windows are sorted by `(at_ms, duration_ms)` with class order
+/// breaking exact ties.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrunkPlan {
+    /// The scheduled impairment windows.
+    pub windows: Vec<TrunkWindow>,
+}
+
+impl TrunkPlan {
+    /// True if the plan schedules nothing (trunk chaos disabled).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Effective level of `class` at `t_ms`: the max across windows, so
+    /// overlapping windows never *reduce* an impairment.
+    pub fn level_at(&self, class: TrunkFaultClass, t_ms: u64) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.class == class)
+            .map(|w| w.level_at(t_ms))
+            .fold(0.0, f64::max)
+    }
+
+    /// Total scheduled impairment time for a class, in ms (summed, not
+    /// unioned, like [`FaultPlan::unavailability_ms`]).
+    pub fn unavailability_ms(&self, class: TrunkFaultClass) -> u64 {
+        self.windows
+            .iter()
+            .filter(|w| w.class == class)
+            .map(|w| w.duration_ms)
+            .sum()
+    }
+}
+
+/// Compiles the trunk chaos schedule for the unordered shard pair
+/// `{a, b}`.
+///
+/// Pure function of its arguments, and monotone in `intensity` by
+/// construction: every window's parameters are drawn from an RNG stream
+/// derived from `(pair, class, window_index)` — never from the
+/// intensity — so raising the intensity only *adds* windows (the count
+/// grows), *lengthens* them and *raises* their levels, leaving every
+/// lower-intensity window in place at the same start time. Combined
+/// with the transport's stateless per-`(src, dst, seq, attempt)`
+/// decision draws, a flit dropped at intensity 0.3 is also dropped at
+/// 1.0 — the degradation rows in `BENCH_chaos.json` are monotone by
+/// design, not by luck.
+pub fn compile_trunk_plan(
+    cfg: &TrunkPlanConfig,
+    master_seed: u64,
+    shard_a: usize,
+    shard_b: usize,
+    window_secs: u64,
+) -> TrunkPlan {
+    let mut plan = TrunkPlan::default();
+    if cfg.is_off() || window_secs == 0 || shard_a == shard_b {
+        return plan;
+    }
+    let (a, b) = if shard_a < shard_b { (shard_a, shard_b) } else { (shard_b, shard_a) };
+    let intensity = cfg.intensity.clamp(0.0, 4.0);
+    let window_ms = window_secs * 1_000;
+    // Same warm-up (5%) / tail (20%) envelope as the intra-shard plans,
+    // so every partition heals — and its re-routes land — in-run.
+    let lo_ms = window_ms / 20;
+    let hi_ms = window_ms * 8 / 10;
+    let count = windows_per_class(intensity, window_secs);
+    let pair_salt = mix_salt(mix_salt(STREAM_TRUNK, a as u64), b as u64);
+
+    for (ci, class) in TrunkFaultClass::ALL.into_iter().enumerate() {
+        let enabled = match class {
+            TrunkFaultClass::Loss => cfg.loss,
+            TrunkFaultClass::Dup => cfg.dup,
+            TrunkFaultClass::Reorder => cfg.reorder,
+            TrunkFaultClass::Partition => cfg.partition,
+        };
+        for w in 0..count {
+            let mut rng = SimRng::derive(
+                master_seed,
+                mix_salt(pair_salt, (ci as u64) << 32 | w),
+            );
+            // Fixed draw order for every class so a window's geometry
+            // is the same whichever classes are enabled.
+            let at_ms = rng.range(lo_ms, hi_ms.max(lo_ms + 1));
+            let dur_u = rng.uniform();
+            let lvl_u = rng.uniform();
+            let ramp_u = rng.uniform();
+            let (duration_ms, level, ramp_ms) = match class {
+                TrunkFaultClass::Loss => {
+                    (2_000 + (dur_u * intensity * 8_000.0) as u64,
+                     (0.10 + 0.35 * intensity * lvl_u).min(0.9), 0)
+                }
+                TrunkFaultClass::Dup => {
+                    (2_000 + (dur_u * intensity * 8_000.0) as u64,
+                     (0.10 + 0.30 * intensity * lvl_u).min(0.8), 0)
+                }
+                TrunkFaultClass::Reorder => {
+                    (2_000 + (dur_u * intensity * 8_000.0) as u64,
+                     (0.15 + 0.35 * intensity * lvl_u).min(0.9), 0)
+                }
+                TrunkFaultClass::Partition => {
+                    // Full drop at the plateau; the trapezoid's ramp is
+                    // intensity-independent so the onset shape never
+                    // shifts under a stronger plan.
+                    (3_000 + (dur_u * intensity * 7_000.0) as u64,
+                     1.0,
+                     400 + (ramp_u * 1_200.0) as u64)
+                }
+            };
+            if enabled {
+                plan.windows.push(TrunkWindow { at_ms, duration_ms, class, level, ramp_ms });
+            }
+        }
+    }
+
+    plan.windows.sort_by_key(|w| (w.at_ms, w.duration_ms));
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,5 +644,106 @@ mod tests {
         assert!(plan.overlaps(FaultClass::NodeCrash, 2_500, 4_000));
         assert!(!plan.overlaps(FaultClass::NodeCrash, 4_000, 9_000));
         assert!(!plan.overlaps(FaultClass::LinkDegrade, 0, 20_000));
+    }
+
+    // ---- trunk chaos ----
+
+    #[test]
+    fn trunk_zero_intensity_compiles_to_empty_plan() {
+        assert!(compile_trunk_plan(&TrunkPlanConfig::all(0.0), 42, 0, 1, 300).is_empty());
+        assert!(compile_trunk_plan(&TrunkPlanConfig::default(), 42, 0, 1, 300).is_empty());
+        // A degenerate pair (a shard with itself) never gets a plan.
+        assert!(compile_trunk_plan(&TrunkPlanConfig::all(1.0), 42, 2, 2, 300).is_empty());
+    }
+
+    #[test]
+    fn trunk_plans_are_deterministic_and_pair_symmetric() {
+        let cfg = TrunkPlanConfig::all(1.0);
+        let a = compile_trunk_plan(&cfg, 7, 0, 1, 300);
+        let b = compile_trunk_plan(&cfg, 7, 0, 1, 300);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // The pair is unordered: (1, 0) is the same trunk as (0, 1).
+        assert_eq!(a, compile_trunk_plan(&cfg, 7, 1, 0, 300));
+        // Other pairs and seeds get independent plans.
+        assert_ne!(a, compile_trunk_plan(&cfg, 7, 0, 2, 300));
+        assert_ne!(a, compile_trunk_plan(&cfg, 8, 0, 1, 300));
+    }
+
+    #[test]
+    fn trunk_single_class_plans_are_a_subset_of_the_combined_plan() {
+        let all = compile_trunk_plan(&TrunkPlanConfig::all(1.0), 11, 0, 3, 300);
+        for class in TrunkFaultClass::ALL {
+            let only = compile_trunk_plan(&TrunkPlanConfig::only(class, 1.0), 11, 0, 3, 300);
+            assert!(!only.is_empty());
+            for w in &only.windows {
+                assert_eq!(w.class, class);
+                assert!(all.windows.contains(w), "{w:?} missing from combined plan");
+            }
+        }
+    }
+
+    /// The monotone-degradation cornerstone: every lower-intensity
+    /// window persists at a higher intensity with the same start, a
+    /// duration at least as long and a level at least as high — so the
+    /// effective impairment at any instant never decreases.
+    #[test]
+    fn trunk_plans_are_monotone_in_intensity() {
+        let lo = compile_trunk_plan(&TrunkPlanConfig::all(0.3), 5, 0, 1, 300);
+        let hi = compile_trunk_plan(&TrunkPlanConfig::all(1.0), 5, 0, 1, 300);
+        assert!(!lo.is_empty());
+        assert!(hi.windows.len() >= lo.windows.len());
+        for w in &lo.windows {
+            let sup = hi
+                .windows
+                .iter()
+                .find(|h| h.class == w.class && h.at_ms == w.at_ms)
+                .unwrap_or_else(|| panic!("window at {} ms vanished at intensity 1.0", w.at_ms));
+            assert!(sup.duration_ms >= w.duration_ms);
+            assert!(sup.level >= w.level);
+            assert_eq!(sup.ramp_ms, w.ramp_ms, "trapezoid ramp must not shift");
+        }
+        for t in (0..300_000).step_by(250) {
+            for class in TrunkFaultClass::ALL {
+                assert!(
+                    hi.level_at(class, t) >= lo.level_at(class, t) - 1e-12,
+                    "{class:?} level fell at {t} ms"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trunk_partition_windows_are_trapezoidal() {
+        let plan = compile_trunk_plan(
+            &TrunkPlanConfig::only(TrunkFaultClass::Partition, 1.0),
+            9,
+            0,
+            1,
+            300,
+        );
+        let w = plan.windows.first().expect("at least one partition window");
+        assert!(w.ramp_ms > 0);
+        assert_eq!(w.level, 1.0);
+        // Zero outside, ramping at the edges, full at the plateau.
+        assert_eq!(w.level_at(w.at_ms.saturating_sub(1)), 0.0);
+        assert_eq!(w.level_at(w.at_ms + w.duration_ms), 0.0);
+        let mid = w.level_at(w.at_ms + w.duration_ms / 2);
+        assert!((mid - 1.0).abs() < 1e-9, "plateau must be a full partition, got {mid}");
+        let onset = w.level_at(w.at_ms + w.ramp_ms / 2);
+        assert!(onset > 0.0 && onset < 1.0, "onset must ramp, got {onset}");
+    }
+
+    #[test]
+    fn trunk_windows_are_sorted_and_inside_the_run() {
+        let plan = compile_trunk_plan(&TrunkPlanConfig::all(2.0), 3, 1, 2, 300);
+        let mut prev = 0;
+        for w in &plan.windows {
+            assert!(w.at_ms >= prev, "plan must be sorted");
+            prev = w.at_ms;
+            assert!(w.at_ms >= 300_000 / 20);
+            assert!(w.at_ms < 300_000 * 8 / 10);
+            assert!((0.0..=1.0).contains(&w.level));
+        }
     }
 }

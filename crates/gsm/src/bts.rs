@@ -24,6 +24,18 @@ pub struct BtsConfig {
     /// Shared packet-channel capacity in bits per second (all packet MSs
     /// in the cell contend for this). GPRS CS-2 with 3 PDCHs ≈ 40 kbit/s.
     pub pdch_bps: u64,
+    /// Clip voice frames while the shared PDCH backlog is at or beyond
+    /// this many queued packets (`0` disables clipping). vGPRS speech
+    /// shares the cell with the packet service, so a saturated PDCH
+    /// pool bleeds into in-call quality instead of staying invisible
+    /// to voice — the Section 6 contention argument, made measurable.
+    pub voice_clip_backlog: usize,
+    /// Paging blocks per second the cell's common channel can carry
+    /// (`0` disables the limit). A paging flood beyond this budget
+    /// steals the shared timeslots from the speech path for the rest
+    /// of that second, clipping in-call voice frames — the media-plane
+    /// cost of an unthrottled MT storm.
+    pub pch_capacity_per_s: u32,
 }
 
 impl Default for BtsConfig {
@@ -31,6 +43,8 @@ impl Default for BtsConfig {
         BtsConfig {
             cell: CellId(1),
             pdch_bps: 40_000,
+            voice_clip_backlog: 8,
+            pch_capacity_per_s: 8,
         }
     }
 }
@@ -51,6 +65,10 @@ pub struct Bts {
     /// Shared PDCH queue: (destination, message) pairs awaiting air time.
     pdch_queue: VecDeque<(NodeId, Message)>,
     pdch_busy: bool,
+    /// One-second window index of the last paging broadcast, and how
+    /// many pages this cell carried inside it.
+    page_window: u64,
+    pages_in_window: u32,
 }
 
 impl Bts {
@@ -66,6 +84,8 @@ impl Bts {
             next_conn: 0,
             pdch_queue: VecDeque::new(),
             pdch_busy: false,
+            page_window: 0,
+            pages_in_window: 0,
         }
     }
 
@@ -132,6 +152,32 @@ impl Bts {
             None => self.pdch_busy = false,
         }
     }
+
+    /// True while shared-channel saturation is clipping the speech path
+    /// — a PDCH packet backlog or a paging flood past the common-channel
+    /// budget — so the cell drops this voice frame instead of relaying it.
+    fn clips_voice(&self, now_ms: u64, dtap: &Dtap) -> bool {
+        if !matches!(dtap, Dtap::VoiceFrame { .. }) {
+            return false;
+        }
+        let pdch_backlogged = self.config.voice_clip_backlog > 0
+            && self.pdch_queue.len() >= self.config.voice_clip_backlog;
+        let paging_flood = self.config.pch_capacity_per_s > 0
+            && now_ms / 1_000 == self.page_window
+            && self.pages_in_window > self.config.pch_capacity_per_s;
+        pdch_backlogged || paging_flood
+    }
+
+    /// Accounts one paging broadcast against the cell's per-second
+    /// common-channel budget.
+    fn note_page(&mut self, now_ms: u64) {
+        let window = now_ms / 1_000;
+        if window != self.page_window {
+            self.page_window = window;
+            self.pages_in_window = 0;
+        }
+        self.pages_in_window += 1;
+    }
 }
 
 impl Node<Message> for Bts {
@@ -145,6 +191,10 @@ impl Node<Message> for Bts {
         match (iface, msg) {
             // ---- uplink: from an MS over its dedicated radio link ----
             (Interface::Um, Message::Um(dtap)) => {
+                if self.clips_voice(ctx.now().as_millis(), &dtap) {
+                    ctx.count("bts.pdch_voice_clipped");
+                    return;
+                }
                 let conn = if Self::starts_transaction(&dtap) {
                     self.alloc_conn(ctx, from)
                 } else {
@@ -173,7 +223,9 @@ impl Node<Message> for Bts {
             // ---- downlink: from the BSC over Abis ----
             (Interface::Abis, Message::Abis { conn, dtap }) => {
                 if conn.is_connectionless() {
-                    // Paging broadcast: every camped MS hears the PCH.
+                    // Paging broadcast: every camped MS hears the PCH, and
+                    // the block is charged against the common-channel budget.
+                    self.note_page(ctx.now().as_millis());
                     for ms in self.mss.clone() {
                         ctx.send(ms, Message::Um(dtap.clone()));
                     }
@@ -184,6 +236,10 @@ impl Node<Message> for Bts {
                     ctx.count("bts.downlink_unknown_conn");
                     return;
                 };
+                if self.clips_voice(ctx.now().as_millis(), &dtap) {
+                    ctx.count("bts.pdch_voice_clipped");
+                    return;
+                }
                 let ends = matches!(dtap, Dtap::ChannelRelease);
                 ctx.send(ms, Message::Um(dtap));
                 if ends {
@@ -443,6 +499,76 @@ mod tests {
     }
 
     #[test]
+    fn saturated_pdch_clips_voice_frames() {
+        use vgprs_wire::GmmMessage;
+        let imsi = Imsi::parse("466920123456789").unwrap();
+        // A 1 bit/s PDCH never drains: each queued GMM packet deepens
+        // the backlog past the clip threshold before voice arrives.
+        let gmm = Message::Gmm(GmmMessage::AttachRequest { imsi });
+        let voice = Message::Um(Dtap::VoiceFrame {
+            call: CallId(9),
+            seq: 0,
+            origin_us: 0,
+        });
+        let mut to_send = vec![Message::Um(lur())];
+        to_send.extend(std::iter::repeat_n(gmm, 8));
+        to_send.push(voice);
+        let (mut net, _bts, bsc, _ms) = rig_with_sender(to_send);
+        net.run_until_quiescent();
+        assert_eq!(net.stats().counter("bts.pdch_voice_clipped"), 1);
+        // The voice frame never reached the BSC; the LUR did.
+        let probe = net.node::<Probe>(bsc).unwrap();
+        assert!(probe.got.iter().all(|(_, m)| !matches!(
+            m,
+            Message::Abis {
+                dtap: Dtap::VoiceFrame { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn paging_flood_clips_voice_frames() {
+        let imsi = Imsi::parse("466920123456789").unwrap();
+        let (mut net, bts, _bsc, _ms) = rig_with_sender(vec![Message::Um(lur())]);
+        net.run_until_quiescent();
+        // A pager floods the common channel one page past its per-second
+        // budget, all inside the first second of the run.
+        let page = Message::Abis {
+            conn: ConnRef::CONNECTIONLESS,
+            dtap: Dtap::Paging {
+                identity: MsIdentity::Imsi(imsi),
+            },
+        };
+        let pager = net.add_node(
+            "pager",
+            Sender {
+                peer: bts,
+                to_send: vec![page; 9],
+            },
+        );
+        net.connect(pager, bts, Interface::Abis, SimDuration::from_millis(1));
+        net.run_until_quiescent();
+        assert_eq!(net.stats().counter("bts.pages_broadcast"), 9);
+        // The next voice frame inside the flooded second is clipped.
+        let talker = net.add_node(
+            "talker",
+            Sender {
+                peer: bts,
+                to_send: vec![Message::Um(Dtap::VoiceFrame {
+                    call: CallId(9),
+                    seq: 0,
+                    origin_us: 0,
+                })],
+            },
+        );
+        net.connect(talker, bts, Interface::Um, SimDuration::from_millis(1));
+        net.run_until_quiescent();
+        assert_eq!(net.stats().counter("bts.pdch_voice_clipped"), 1);
+        assert!(net.now() < vgprs_sim::SimTime::from_micros(1_000_000));
+    }
+
+    #[test]
     fn cell_accessor() {
         let mut net = Network::new(0);
         let bsc = net.add_node("bsc", Probe::new());
@@ -452,6 +578,7 @@ mod tests {
                 BtsConfig {
                     cell: CellId(7),
                     pdch_bps: 1,
+                    ..BtsConfig::default()
                 },
                 bsc,
             ),

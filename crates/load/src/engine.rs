@@ -16,14 +16,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use vgprs_faults::FaultPlanConfig;
+use vgprs_faults::{FaultPlanConfig, TrunkPlanConfig};
 use vgprs_scenario::{compile_demand, OverloadControls, ScenarioConfig};
 use vgprs_sim::Kernel;
 
-use crate::mailbox::{Flit, HlrDirectory, Mailbox};
+use crate::mailbox::{Flit, HlrDirectory, EPOCH_MS};
 use crate::population::{subscriber_plan_demand, PopulationConfig, SubscriberPlan};
 use crate::report::LoadReport;
 use crate::shard::{Shard, ShardConfig, ShardReport};
+use crate::trunk::TrunkFabric;
 
 /// Target shard size when the caller lets the engine pick: small enough
 /// that one cell's 64 traffic channels see realistic contention, large
@@ -63,6 +64,11 @@ pub struct LoadConfig {
     /// compiles to empty plans, and the run is byte-identical to one
     /// without the fault machinery.
     pub faults: FaultPlanConfig,
+    /// Deterministic inter-shard trunk chaos (loss, duplication,
+    /// reordering, partitions). The all-off default leaves the trunk
+    /// fabric disarmed — a bare mailbox — so the run is byte-identical
+    /// to one without the reliable-delivery machinery.
+    pub trunk: TrunkPlanConfig,
     /// Demand scenario: a daily-profile rate curve plus flash-crowd
     /// shocks, compiled per shard into time-varying arrival plans. The
     /// flat default compiles to empty plans and the run is
@@ -92,6 +98,7 @@ impl Default for LoadConfig {
             voice_sample_ms: 1_000,
             kernel: Kernel::default(),
             faults: FaultPlanConfig::default(),
+            trunk: TrunkPlanConfig::default(),
             scenario: ScenarioConfig::default(),
             controls: OverloadControls::default(),
             snapshot_secs: 60,
@@ -219,16 +226,19 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     // Phase 2: epoch lockstep. Each epoch every busy shard simulates the
     // same window, then the barrier routes cross-shard flits (sent epoch
     // k, delivered epoch k+1) and the HLR directory tracks ownership.
-    let mut mailbox = Mailbox::new(shards);
+    // The trunk fabric is the barrier's delivery layer: a bare mailbox
+    // when the trunk plan is empty, the reliable sequenced protocol
+    // (retransmits, dedup, in-order release) under trunk chaos.
+    let mut fabric = TrunkFabric::new(shards, cfg.seed, &cfg.trunk, cfg.population.window_secs);
     let mut directory = HlrDirectory::new(&parts);
     let mut epoch: u64 = 0;
     loop {
-        let mut busy = mailbox.in_flight() > 0;
+        let mut busy = fabric.in_flight() > 0;
         let mut cap = 0;
         for (index, slot) in slots.iter().enumerate() {
             let mut s = slot.lock().expect("no panics while holding the lock");
             let s = s.as_mut().expect("phase 1 built every shard");
-            s.inbox = mailbox.take_inbox(index);
+            s.inbox = fabric.take_inbox(index);
             busy |= s.shard.is_busy() || !s.inbox.is_empty();
             cap = cap.max(s.shard.max_epoch_hint());
         }
@@ -249,16 +259,17 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             s.outbox = s.shard.run_epoch(epoch, inbox);
         });
         // Barrier: route in shard order so delivery order never depends
-        // on which thread finished first.
+        // on which thread finished first. Disarmed, the fabric observes
+        // the HLR directory at post time (the historical behavior);
+        // armed, ownership is observed at *delivery*, when an
+        // Arrive/Depart actually survives the trunk.
         for (index, slot) in slots.iter().enumerate() {
             let mut s = slot.lock().expect("no panics while holding the lock");
             let s = s.as_mut().expect("phase 1 built every shard");
             let outbox = std::mem::take(&mut s.outbox);
-            for env in &outbox {
-                directory.observe(index, env);
-            }
-            mailbox.post(index, outbox);
+            fabric.post(index, outbox, &mut directory);
         }
+        fabric.seal((epoch + 1) * EPOCH_MS, &mut directory);
         epoch += 1;
     }
     let wall = started.elapsed();
@@ -277,6 +288,12 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     reports[0]
         .stats
         .count_by("load.hlr_relocations", directory.relocations());
+    // Transport KPIs exist only when the fabric was armed; a disarmed
+    // run must not even *create* the counters, or its fingerprint would
+    // drift from the fault-free baseline.
+    if fabric.armed() {
+        reports[0].stats.merge(fabric.stats());
+    }
     LoadReport::merge(cfg.subscribers, threads, cfg.snapshot_secs, &reports, wall)
 }
 

@@ -46,11 +46,13 @@ pub mod population;
 pub mod report;
 pub mod shard;
 pub mod snapshot;
+pub mod trunk;
 
 pub use capacity::{capacity_knee, capacity_sweep, CapacityPoint, CapacitySweep, KneeEstimate, KneeSearch};
 pub use engine::{partition, run_load, LoadConfig};
 pub use mailbox::{
-    Envelope, Flit, HlrDirectory, Mailbox, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS,
+    Envelope, ExpiredKind, Flit, HlrDirectory, Mailbox, RadioGate, TrunkGate, BORDER_CELL,
+    EPOCH_MS,
 };
 pub use population::{
     subscriber_plan, subscriber_plan_demand, Arrival, CallKind, CallMix, Excursion,
@@ -61,9 +63,10 @@ pub use shard::{run_shard, Shard, ShardConfig, ShardReport};
 pub use snapshot::{
     window_delta, SnapshotFrame, SnapshotRecorder, SNAPSHOT_COUNTERS, SNAPSHOT_HISTOGRAMS,
 };
+pub use trunk::{retransmit_backoff, TrunkFabric};
 // Re-exported so load-engine callers can configure fault plans and
 // demand scenarios without naming those crates themselves.
-pub use vgprs_faults::{FaultClass, FaultPlanConfig};
+pub use vgprs_faults::{FaultClass, FaultPlanConfig, TrunkFaultClass, TrunkPlanConfig};
 pub use vgprs_scenario::{
     compile_demand, DemandPlan, FlashCrowd, OverloadControls, ScenarioConfig,
 };

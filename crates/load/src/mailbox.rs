@@ -86,6 +86,69 @@ pub enum Flit {
         /// The subscriber's global population index.
         global: usize,
     },
+    /// Transport notification, generated at the barrier by the trunk
+    /// fabric (never posted by a shard): retransmission toward `peer`
+    /// exhausted its backoff budget and the flit was abandoned. The
+    /// *sender* shard receives this and resolves the affected call or
+    /// subscriber — supervised teardown with a q850 cause for a
+    /// mid-ladder handoff, HLR revert for a lost mobility move.
+    TrunkExpired {
+        /// Destination shard that never confirmed delivery.
+        peer: usize,
+        /// Call the abandoned flit belonged to, when it carried one.
+        call: Option<CallId>,
+        /// Subscriber the abandoned flit belonged to, when it named one.
+        global: Option<usize>,
+        /// What kind of traffic was abandoned.
+        kind: ExpiredKind,
+    },
+    /// Transport notification: the partition on the trunk toward `peer`
+    /// healed (its last chaos window closed). Both ends receive this and
+    /// re-route any leg they tore down while the trunk was dark.
+    TrunkHeal {
+        /// The shard at the other end of the healed trunk.
+        peer: usize,
+    },
+}
+
+/// What kind of traffic an abandoned (retransmission-exhausted) flit
+/// carried; drives the sender shard's resolution procedure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpiredKind {
+    /// Figure 9 MAP handoff dialogue, or a visiting subscriber's radio
+    /// leg — the handoff cannot complete and the call must be torn down.
+    Handoff,
+    /// Rebased E-trunk voice: the frames are stale-cell loss.
+    Voice,
+    /// Idle-mode `Arrive`/`Depart`: the HLR ownership move never landed.
+    Mobility,
+    /// Any other cross-shard signaling.
+    Signal,
+}
+
+impl Flit {
+    /// Who is harmed if this flit is abandoned: the call it belongs to,
+    /// the subscriber it names, and the resolution procedure to run.
+    pub fn casualty(&self) -> (Option<CallId>, Option<usize>, ExpiredKind) {
+        match self {
+            Flit::Map(
+                MapMessage::PrepareHandover { call, .. }
+                | MapMessage::PrepareHandoverAck { call, .. }
+                | MapMessage::SendEndSignal { call }
+                | MapMessage::SendEndSignalAck { call },
+            ) => (Some(*call), None, ExpiredKind::Handoff),
+            Flit::Map(_) => (None, None, ExpiredKind::Signal),
+            Flit::Trunk { call, .. } => (Some(*call), None, ExpiredKind::Voice),
+            Flit::UmUp { global, .. } | Flit::ADown { global, .. } => {
+                (None, Some(*global), ExpiredKind::Handoff)
+            }
+            Flit::Arrive { global } | Flit::Depart { global } => {
+                (None, Some(*global), ExpiredKind::Mobility)
+            }
+            Flit::TrunkExpired { call, global, kind, .. } => (*call, *global, *kind),
+            Flit::TrunkHeal { .. } => (None, None, ExpiredKind::Signal),
+        }
+    }
 }
 
 /// A flit addressed to a destination shard.

@@ -43,6 +43,9 @@ pub struct LoadReport {
     /// The merged KPI time series: one cumulative frame per cadence
     /// boundary, summed across shards.
     pub snapshots: Vec<SnapshotFrame>,
+    /// Each shard's own (unmerged) series, index-aligned with the
+    /// merged one. Observability only — never part of any fingerprint.
+    pub shard_snapshots: Vec<Vec<SnapshotFrame>>,
 }
 
 impl LoadReport {
@@ -82,6 +85,7 @@ impl LoadReport {
             wall,
             snapshot_secs,
             snapshots,
+            shard_snapshots: reports.iter().map(|r| r.snapshots.clone()).collect(),
         }
     }
 
@@ -193,6 +197,75 @@ impl LoadReport {
     /// Scheduled impairment seconds for the given fault class.
     pub fn unavailability_secs(&self, class: FaultClass) -> f64 {
         self.counter(&format!("load.unavailability_ms_{}", class.key())) as f64 / 1000.0
+    }
+
+    /// Trunk flits the fabric resent after a lost transmission (every
+    /// back-off rung of every pending flit counts once).
+    pub fn trunk_retransmits(&self) -> u64 {
+        self.counter("trunk.retransmits")
+    }
+
+    /// Duplicate trunk flits the receive window suppressed.
+    pub fn trunk_dup_drops(&self) -> u64 {
+        self.counter("trunk.dup_drops")
+    }
+
+    /// Trunk flits whose retransmission budget ran out (the sender
+    /// shard was told and resolved the casualty).
+    pub fn trunk_expired(&self) -> u64 {
+        self.counter("trunk.expired")
+    }
+
+    /// Trunk transmissions a full partition window swallowed.
+    pub fn trunk_partition_drops(&self) -> u64 {
+        self.counter("trunk.drops_partition")
+    }
+
+    /// Trunk transmissions random envelope loss swallowed.
+    pub fn trunk_loss_drops(&self) -> u64 {
+        self.counter("trunk.drops_loss")
+    }
+
+    /// Duplicate trunk transmissions the fault plan injected.
+    pub fn trunk_dup_injected(&self) -> u64 {
+        self.counter("trunk.dup_injected")
+    }
+
+    /// Trunk transmissions a reorder window delayed past their peers.
+    pub fn trunk_reordered(&self) -> u64 {
+        self.counter("trunk.reordered")
+    }
+
+    /// Partition windows that closed (heal edges observed per pair).
+    pub fn trunk_heals(&self) -> u64 {
+        self.counter("trunk.heals")
+    }
+
+    /// Voice frames written off because their trunk flit expired.
+    pub fn trunk_frame_drops(&self) -> u64 {
+        self.counter("load.trunk_frame_drops")
+    }
+
+    /// Mid-ladder handoffs a partition killed: supervised teardowns
+    /// with a Q.850 recovery-on-timer-expiry cause.
+    pub fn trunk_handoff_drops(&self) -> u64 {
+        self.counter("load.trunk_handoff_drops")
+    }
+
+    /// Stranded movers re-routed to their home anchor after a heal.
+    pub fn trunk_reroutes(&self) -> u64 {
+        self.counter("load.trunk_reroutes")
+    }
+
+    /// Out-of-order arrival depth at the trunk receive windows (how far
+    /// ahead of the next expected sequence number a flit landed).
+    pub fn trunk_reorder_depth(&self) -> Histogram {
+        self.merged_histogram(&["trunk.reorder_depth"])
+    }
+
+    /// Partition heal to re-routed recovery, per stranded subscriber.
+    pub fn trunk_heal_recovery(&self) -> Histogram {
+        self.merged_histogram(&["load.heal_recovery_ms"])
     }
 
     /// Driver redials after a dead call (attempt 1 and up).
@@ -432,6 +505,41 @@ impl LoadReport {
             "HLR relocations       : {}",
             self.hlr_relocations()
         ));
+        // Trunk-resilience block: rendered unconditionally (all zeros
+        // when the trunk fault plan is off) so the report shape — and
+        // therefore the fingerprint layout — never depends on config.
+        line(format!(
+            "trunk chaos           : {} lost ({} partition), {} duplicated, {} reordered, {} acks dropped",
+            self.trunk_partition_drops() + self.trunk_loss_drops(),
+            self.trunk_partition_drops(),
+            self.counter("trunk.dup_injected"),
+            self.counter("trunk.reordered"),
+            self.counter("trunk.acks_dropped")
+        ));
+        let reorder = self.trunk_reorder_depth();
+        line(format!(
+            "trunk recovery        : {} retransmits, {} dup drops, {} expired; reorder depth p99 {:.1} (n={})",
+            self.trunk_retransmits(),
+            self.trunk_dup_drops(),
+            self.trunk_expired(),
+            reorder.percentile(99.0),
+            reorder.count()
+        ));
+        line(format!(
+            "trunk casualties      : {} handoff teardowns (q850 102), {} voice expiries, {} mobility reverts",
+            self.trunk_handoff_drops(),
+            self.trunk_frame_drops(),
+            self.counter("load.trunk_mobility_reverts")
+        ));
+        let heal = self.trunk_heal_recovery();
+        line(format!(
+            "trunk heal            : {} heals, {} re-routes; recovery p50 {:.1} ms, p99 {:.1} ms (n={})",
+            self.trunk_heals(),
+            self.trunk_reroutes(),
+            heal.percentile(50.0),
+            heal.percentile(99.0),
+            heal.count()
+        ));
         // Resilience block: rendered unconditionally (all zeros on a
         // fault-free run) so the report shape never depends on config.
         line(format!(
@@ -667,6 +775,41 @@ impl LoadReport {
             "      \"steady_drop_rate\": {}\n",
             json_f64(self.steady_drop_rate())
         ));
+        out.push_str("    },\n");
+        out.push_str("    \"trunk\": {\n");
+        for (name, value) in [
+            ("retransmits", self.trunk_retransmits()),
+            ("dup_drops", self.trunk_dup_drops()),
+            ("expired", self.trunk_expired()),
+            ("drops_partition", self.trunk_partition_drops()),
+            ("drops_loss", self.trunk_loss_drops()),
+            ("dup_injected", self.counter("trunk.dup_injected")),
+            ("reordered", self.counter("trunk.reordered")),
+            ("acks_dropped", self.counter("trunk.acks_dropped")),
+            ("frame_drops", self.trunk_frame_drops()),
+            ("handoff_drops", self.trunk_handoff_drops()),
+            ("q850_102", self.counter("load.trunk_q850_102")),
+            ("visitor_drops", self.counter("load.trunk_visitor_drops")),
+            ("signal_drops", self.counter("load.trunk_signal_drops")),
+            ("mobility_reverts", self.counter("load.trunk_mobility_reverts")),
+            ("heals", self.trunk_heals()),
+            ("reroutes", self.trunk_reroutes()),
+        ] {
+            out.push_str(&format!("      \"{name}\": {value},\n"));
+        }
+        for (name, hist) in [
+            ("reorder_depth", self.trunk_reorder_depth()),
+            ("heal_recovery_ms", self.trunk_heal_recovery()),
+        ] {
+            out.push_str(&format!(
+                "      \"{name}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+                hist.count(),
+                json_f64(hist.mean()),
+                json_f64(hist.percentile(50.0)),
+                json_f64(hist.percentile(99.0))
+            ));
+            out.push_str(if name == "reorder_depth" { ",\n" } else { "\n" });
+        }
         out.push_str("    }\n");
         out.push_str("  },\n");
         out.push_str(&self.snapshots_block("  "));
@@ -746,17 +889,93 @@ impl LoadReport {
     /// --snapshots out.json`: run shape plus the time series, without
     /// the full counter/histogram dump.
     pub fn snapshots_json(&self) -> String {
+        self.snapshots_json_with(false)
+    }
+
+    /// Like [`Self::snapshots_json`], optionally including each shard's
+    /// own (unmerged) series under `"per_shard"` — the `harness load
+    /// --snapshots-per-shard` view for localizing a KPI excursion to
+    /// the shard that produced it.
+    pub fn snapshots_json_with(&self, per_shard: bool) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n");
         out.push_str(&format!("  \"subscribers\": {},\n", self.subscribers));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
         out.push_str(&format!("  \"sim_secs\": {},\n", json_f64(self.sim_secs)));
         out.push_str(&self.snapshots_block("  "));
+        if per_shard {
+            out.push_str("  \"per_shard\": [");
+            for (i, frames) in self.shard_snapshots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n    {{\"shard\": {i}, \"frames\": ["));
+                let mut first = true;
+                for frame in frames {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str("\n      ");
+                    out.push_str(&frame.to_json("      "));
+                }
+                if !first {
+                    out.push_str("\n    ");
+                }
+                out.push_str("]}");
+            }
+            if !self.shard_snapshots.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push_str("],\n");
+        }
         out.push_str(&format!(
             "  \"fingerprint\": \"{:016x}\"\n",
             self.fingerprint()
         ));
         out.push_str("}\n");
+        out
+    }
+
+    /// The snapshot frame stream as CSV for `harness load
+    /// --snapshots-csv`: one row per merged frame (shard `all`) plus,
+    /// when `per_shard` is set, one row per shard per frame. Columns
+    /// are the derived KPIs followed by every schema counter, so the
+    /// file round-trips into any spreadsheet or plotting tool.
+    pub fn snapshots_csv(&self, per_shard: bool) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("shard,at_ms,attempts,blocking_rate,reject_rate,frame_loss,mos");
+        for name in crate::snapshot::SNAPSHOT_COUNTERS {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        let mut row = |shard: &str, frame: &SnapshotFrame| {
+            out.push_str(&format!(
+                "{shard},{},{},{},{},{},{}",
+                frame.at_ms,
+                frame.attempts(),
+                json_f64(frame.blocking_rate()),
+                json_f64(frame.reject_rate()),
+                json_f64(frame.frame_loss()),
+                json_f64(frame.mos())
+            ));
+            for v in &frame.counters {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        };
+        for frame in &self.snapshots {
+            row("all", frame);
+        }
+        if per_shard {
+            for (i, frames) in self.shard_snapshots.iter().enumerate() {
+                let label = i.to_string();
+                for frame in frames {
+                    row(&label, frame);
+                }
+            }
+        }
         out
     }
 

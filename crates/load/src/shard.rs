@@ -20,7 +20,7 @@
 //! leg while the destination VMSC takes the radio leg over the E-trunk
 //! gate.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vgprs_core::{VgprsZone, VgprsZoneConfig, Vmsc};
 use vgprs_faults::{
@@ -33,11 +33,11 @@ use vgprs_sim::{
     Stats,
 };
 use vgprs_wire::{
-    CallId, CellId, Command, ConnRef, Dtap, Imsi, Ipv4Addr, Lai, MapMessage, Message, Msisdn,
-    SubscriberProfile, TransportAddr,
+    CallId, Cause, CellId, Command, ConnRef, Dtap, Imsi, Ipv4Addr, Lai, MapMessage, Message,
+    Msisdn, SubscriberProfile, TransportAddr,
 };
 
-use crate::mailbox::{Envelope, Flit, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS};
+use crate::mailbox::{Envelope, ExpiredKind, Flit, RadioGate, TrunkGate, BORDER_CELL, EPOCH_MS};
 use crate::population::{Arrival, CallKind, PopulationConfig, SubscriberPlan};
 use crate::snapshot::{SnapshotFrame, SnapshotRecorder};
 
@@ -237,6 +237,9 @@ struct Subscriber {
 /// An outbound (anchored) handoff leg: our subscriber, their radio.
 struct AnchoredLeg {
     target_shard: usize,
+    /// Local index of the anchored subscriber, so a trunk partition
+    /// that kills the handoff dialogue can tear the right call down.
+    local: usize,
 }
 
 /// Deterministic identity helpers shared with the rest of the crate.
@@ -299,6 +302,10 @@ pub struct Shard {
     next_visitor_conn: u32,
     pending_um: Vec<(NodeId, Dtap)>,
     pending_interrupt: HashMap<usize, u64>,
+    /// Subscribers whose handed-off call a trunk partition tore down,
+    /// keyed by local index → (peer shard, torn-at ms). Ordered so the
+    /// heal-time re-route runs in a deterministic sequence.
+    trunk_torn: BTreeMap<usize, (usize, u64)>,
     outbox: Vec<Envelope>,
     recorder: SnapshotRecorder,
 }
@@ -525,6 +532,7 @@ impl Shard {
             next_visitor_conn: 0,
             pending_um: Vec::new(),
             pending_interrupt: HashMap::new(),
+            trunk_torn: BTreeMap::new(),
             outbox: Vec::new(),
             recorder: SnapshotRecorder::new(cfg.snapshot_secs),
         };
@@ -1220,6 +1228,165 @@ impl Shard {
                     }),
                 );
             }
+            Flit::TrunkExpired {
+                peer,
+                call,
+                global,
+                kind,
+            } => self.trunk_expired(peer, call, global, kind),
+            Flit::TrunkHeal { peer } => self.trunk_heal(peer),
+        }
+    }
+
+    /// The trunk fabric gave up retransmitting one of our flits toward
+    /// `peer` (a partition or sustained loss outlived the back-off
+    /// budget). Resolve the casualty the way the anchor VMSC's
+    /// supervision timers would: voice loses frames, a dead handoff
+    /// dialogue tears the call down with a Q.850 cause, a dead HLR
+    /// ownership transfer reverts the move.
+    fn trunk_expired(
+        &mut self,
+        peer: usize,
+        call: Option<CallId>,
+        global: Option<usize>,
+        kind: ExpiredKind,
+    ) {
+        let now_us = self.net.now().as_micros().saturating_sub(self.t0_us);
+        match kind {
+            ExpiredKind::Voice => {
+                // The far end never hears these frames; the scheduled
+                // hangup (or the probe) still cleans the call up, so
+                // only attribute the loss to the trunk class.
+                self.net.stats_mut().count("load.trunk_frame_drops");
+            }
+            ExpiredKind::Handoff => {
+                // Who was mid-ladder? The anchor side finds the call in
+                // its anchored map (or the mover via its global index);
+                // the host side only knows the visitor's global.
+                let local = call
+                    .and_then(|c| self.anchored.remove(&c).map(|leg| leg.local))
+                    .or_else(|| {
+                        global
+                            .map(|g| g.wrapping_sub(self.cfg.base_index))
+                            .filter(|&l| l < self.subs.len())
+                    });
+                if let Some(local) = local {
+                    self.teardown_torn(local, peer, now_us);
+                } else if let Some(g) = global {
+                    // An expired uplink for a visitor we host: abandon
+                    // the radio leg; the anchor side supervises the call.
+                    if let Some(conn) = self.visitor_conns.remove(&g) {
+                        self.conn_globals.remove(&conn);
+                        self.net.stats_mut().count("load.trunk_visitor_drops");
+                    } else {
+                        self.net.stats_mut().count("load.trunk_signal_drops");
+                    }
+                } else if let Some(c) = call {
+                    // Handoff dialogue we relayed for a visitor call:
+                    // forget the route; the anchor shard's supervision
+                    // owns the teardown.
+                    self.call_src.remove(&c);
+                    self.net.stats_mut().count("load.trunk_signal_drops");
+                } else {
+                    self.net.stats_mut().count("load.trunk_signal_drops");
+                }
+            }
+            ExpiredKind::Mobility => {
+                // An idle-mode HLR ownership transfer died on the
+                // trunk: revert the move so exactly one shard owns the
+                // record again (re-provisioning is idempotent when the
+                // expired flit was the return-trip cancel).
+                let Some(local) = global
+                    .map(|g| g.wrapping_sub(self.cfg.base_index))
+                    .filter(|&l| l < self.subs.len())
+                else {
+                    self.net.stats_mut().count("load.trunk_signal_drops");
+                    return;
+                };
+                let g = self.cfg.base_index + local;
+                self.net.stats_mut().count("load.trunk_mobility_reverts");
+                self.subs[local].away = false;
+                self.subs[local].handed_off = false;
+                self.net
+                    .node_mut::<Hlr>(self.home_hlr)
+                    .expect("home HLR")
+                    .provision(
+                        imsi_for(g),
+                        0x5000 + g as u64,
+                        SubscriberProfile::full(msisdn_for(g)),
+                    );
+                self.net.inject(
+                    SimDuration::ZERO,
+                    self.subs[local].ms,
+                    Message::Cmd(Command::MoveToCell {
+                        cell: self.home_cell,
+                    }),
+                );
+            }
+            ExpiredKind::Signal => {
+                self.net.stats_mut().count("load.trunk_signal_drops");
+            }
+        }
+    }
+
+    /// Supervised teardown of a handed-off call whose trunk leg a
+    /// partition killed: both ends hang up, the dead call's remaining
+    /// scheduled actions are invalidated, and the stranded mover is
+    /// remembered so the heal can re-route it to its home anchor.
+    fn teardown_torn(&mut self, local: usize, peer: usize, now_us: u64) {
+        self.net.stats_mut().count("load.trunk_handoff_drops");
+        let cause = Cause::RecoveryOnTimerExpiry;
+        self.net
+            .stats_mut()
+            .count(&format!("load.trunk_q850_{}", cause.q850_value()));
+        let ms = self.subs[local].ms;
+        let peer_node = self.subs[local].current_peer;
+        self.subs[local].gen = self.subs[local].gen.wrapping_add(1);
+        self.subs[local].busy_until_us = now_us;
+        self.subs[local].current_peer = None;
+        self.subs[local].pending_return = false;
+        self.pending_interrupt.remove(&local);
+        self.net
+            .inject(SimDuration::ZERO, ms, Message::Cmd(Command::Hangup));
+        if let Some(p) = peer_node {
+            // The release toward the departed radio channel never
+            // reaches the far handset; drive it down explicitly, like
+            // the crossed-leg branch of a normal handoff hangup.
+            self.net
+                .inject(SimDuration::ZERO, p, Message::Cmd(Command::Hangup));
+        }
+        // Stranded at the far cell until the partition heals (or the
+        // natural return excursion brings the subscriber home first).
+        self.trunk_torn.insert(local, (peer, now_us / 1000));
+    }
+
+    /// A trunk partition toward `peer` healed: re-route every
+    /// subscriber it stranded back onto the home anchor, in local-index
+    /// order so the recovery sequence is deterministic.
+    fn trunk_heal(&mut self, peer: usize) {
+        let now_ms = self.net.now().as_micros().saturating_sub(self.t0_us) / 1000;
+        let torn: Vec<(usize, u64)> = self
+            .trunk_torn
+            .iter()
+            .filter(|&(_, &(p, _))| p == peer)
+            .map(|(&l, &(_, at))| (l, at))
+            .collect();
+        for (local, torn_ms) in torn {
+            self.trunk_torn.remove(&local);
+            self.net.stats_mut().count("load.trunk_reroutes");
+            self.net
+                .stats_mut()
+                .observe("load.heal_recovery_ms", now_ms.saturating_sub(torn_ms) as f64);
+            self.subs[local].away = false;
+            self.subs[local].handed_off = false;
+            self.subs[local].pending_return = false;
+            self.net.inject(
+                SimDuration::ZERO,
+                self.subs[local].ms,
+                Message::Cmd(Command::MoveToCell {
+                    cell: self.home_cell,
+                }),
+            );
         }
     }
 
@@ -1250,6 +1417,7 @@ impl Shard {
                                 *call,
                                 AnchoredLeg {
                                     target_shard: target,
+                                    local,
                                 },
                             );
                             self.net.stats_mut().count("load.handoff_attempts");

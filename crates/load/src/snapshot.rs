@@ -41,6 +41,9 @@ pub const SNAPSHOT_COUNTERS: &[&str] = &[
     "load.faults_injected",
     "load.handoff_attempts",
     "load.handoff_success",
+    "load.trunk_frame_drops",
+    "load.trunk_handoff_drops",
+    "load.trunk_reroutes",
     "ms.voice_frames_received",
     "ms.voice_frames_sent",
     "sgsn.pdp_admission_deferred",
@@ -55,6 +58,7 @@ pub const SNAPSHOT_COUNTERS: &[&str] = &[
 /// Histograms every snapshot frame samples, in schema order.
 pub const SNAPSHOT_HISTOGRAMS: &[&str] = &[
     "load.handoff_interruption_ms",
+    "load.heal_recovery_ms",
     "ms.post_dial_delay_ms",
     "ms.voice_e2e_ms",
     "term.post_dial_delay_ms",

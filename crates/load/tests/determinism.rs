@@ -4,6 +4,7 @@
 use vgprs_load::{
     partition, run_load, subscriber_plan, subscriber_plan_demand, CallMix, DemandPlan,
     FaultPlanConfig, LoadConfig, OverloadControls, PopulationConfig, ScenarioConfig,
+    TrunkFaultClass, TrunkPlanConfig,
 };
 use vgprs_sim::Kernel;
 
@@ -396,6 +397,151 @@ fn overload_kpis_monotone_in_intensity() {
     assert!(
         last.unwrap() > 0,
         "the strongest shock never tripped a single overload control"
+    );
+}
+
+// ---- inter-shard trunk chaos ----
+
+/// The cross-shard workload under the full trunk fault plan: envelope
+/// loss, duplication, reordering and partitions on every shard pair.
+fn trunk_cfg(threads: usize) -> LoadConfig {
+    LoadConfig {
+        trunk: TrunkPlanConfig::all(1.0),
+        ..cross_cfg(threads, 4)
+    }
+}
+
+/// The tentpole property: a trunk-faulted run — retransmissions, dup
+/// suppression, reorder buffering, partition teardowns and heals — is
+/// bit-identical at every worker-thread count on both event kernels.
+#[test]
+fn trunk_faulted_runs_are_thread_and_kernel_invariant() {
+    let base = run_load(&trunk_cfg(1));
+    for threads in [2, 8] {
+        for kernel in [Kernel::Wheel, Kernel::Heap] {
+            let other = run_load(&LoadConfig {
+                kernel,
+                ..trunk_cfg(threads)
+            });
+            assert_eq!(
+                base.render_deterministic(),
+                other.render_deterministic(),
+                "trunk-faulted KPI text diverged at {threads} threads on {kernel}"
+            );
+            assert_eq!(
+                base.fingerprint(),
+                other.fingerprint(),
+                "trunk-faulted fingerprint diverged at {threads} threads on {kernel}"
+            );
+        }
+    }
+}
+
+/// A zero-intensity trunk plan compiles to no windows, and the fabric
+/// must then be byte-transparent: same fingerprint as a run that never
+/// heard of trunk faults.
+#[test]
+fn zero_intensity_trunk_plan_changes_nothing() {
+    let plain = run_load(&cross_cfg(2, 4));
+    let zero = run_load(&LoadConfig {
+        trunk: TrunkPlanConfig::all(0.0),
+        ..cross_cfg(2, 4)
+    });
+    assert_eq!(plain.render_deterministic(), zero.render_deterministic());
+    assert_eq!(plain.fingerprint(), zero.fingerprint());
+}
+
+/// The trunk chaos must actually hurt — and the reliable-delivery
+/// machinery must actually absorb it.
+#[test]
+fn trunk_chaos_bites_and_recovery_runs() {
+    let r = run_load(&trunk_cfg(2));
+    assert!(
+        r.trunk_retransmits() > 0,
+        "no trunk flit was ever retransmitted:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.trunk_loss_drops() + r.trunk_partition_drops() > 0,
+        "the fault plan never swallowed a transmission:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.trunk_dup_drops() > 0,
+        "duplicates were injected but none suppressed:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.trunk_reorder_depth().count() > 0,
+        "no out-of-order arrival was ever buffered:\n{}",
+        r.render_deterministic()
+    );
+}
+
+/// Healed-partition convergence: under partition-only chaos, every
+/// subscriber stranded by a torn trunk is re-routed to its home anchor
+/// once the partition heals, and the heal-to-recovery delay is sampled.
+#[test]
+fn healed_partition_converges() {
+    let r = run_load(&LoadConfig {
+        trunk: TrunkPlanConfig::only(TrunkFaultClass::Partition, 1.0),
+        ..cross_cfg(2, 4)
+    });
+    assert!(
+        r.trunk_partition_drops() > 0,
+        "no transmission ever hit a partition window:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.trunk_heals() > 0,
+        "no partition window ever healed:\n{}",
+        r.render_deterministic()
+    );
+    if r.trunk_handoff_drops() > 0 {
+        assert!(
+            r.trunk_reroutes() > 0,
+            "handoffs were torn down but nobody was re-routed on heal:\n{}",
+            r.render_deterministic()
+        );
+        assert_eq!(
+            r.trunk_heal_recovery().count(),
+            r.trunk_reroutes(),
+            "every re-route must sample one heal-to-recovery delay:\n{}",
+            r.render_deterministic()
+        );
+    }
+}
+
+/// Reorder-only chaos delays transmissions but the receive window's
+/// in-order release must hide it completely from the shards: no
+/// casualties, no teardowns — only buffered depth samples.
+#[test]
+fn reordered_flits_never_violate_fifo() {
+    let r = run_load(&LoadConfig {
+        trunk: TrunkPlanConfig::only(TrunkFaultClass::Reorder, 1.0),
+        ..cross_cfg(2, 4)
+    });
+    assert!(
+        r.trunk_reordered() > 0,
+        "the reorder plan never delayed a transmission:\n{}",
+        r.render_deterministic()
+    );
+    assert!(
+        r.trunk_reorder_depth().count() > 0,
+        "reordered flits never arrived ahead of sequence:\n{}",
+        r.render_deterministic()
+    );
+    assert_eq!(
+        r.trunk_expired(),
+        0,
+        "pure reordering must never exhaust a retransmission budget:\n{}",
+        r.render_deterministic()
+    );
+    assert_eq!(
+        r.trunk_handoff_drops(),
+        0,
+        "pure reordering must never tear a handoff down:\n{}",
+        r.render_deterministic()
     );
 }
 

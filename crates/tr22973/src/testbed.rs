@@ -107,6 +107,7 @@ impl TrZone {
                 BtsConfig {
                     cell: cfg.cell,
                     pdch_bps: cfg.pdch_bps,
+                    ..BtsConfig::default()
                 },
                 bsc,
             ),

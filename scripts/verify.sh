@@ -20,10 +20,14 @@ echo "==> event-kernel differential smoke (heap vs wheel fingerprints)"
 # schedule diverges from the heap oracle. Throughput is not gated here.
 cargo run --release -q -p vgprs-bench --bin harness -- kernelbench --check
 
-echo "==> chaos determinism smoke (faulted runs: threads x kernels + zero plan)"
-# A fixed fault plan must fingerprint identically at every thread count
-# on both kernels, and a zero-intensity plan must reproduce the
-# fault-free run byte for byte.
+echo "==> chaos determinism smoke (node + trunk faults: threads x kernels + zero plan)"
+# A fixed fault plan — node faults and the four inter-shard trunk
+# classes (loss, dup, reorder, partition) — must fingerprint
+# identically at every thread count on both kernels, a zero-intensity
+# plan must reproduce the fault-free run byte for byte (trunk fabric
+# disarmed is the bare mailbox), a reference trunk run must actually
+# retransmit (non-vacuity), and per-class trunk damage must be
+# monotone in intensity.
 cargo run --release -q -p vgprs-bench --bin harness -- chaos --check
 
 echo "==> surge determinism + monotonicity smoke (flash crowds + overload controls)"
